@@ -1,0 +1,63 @@
+"""Fig. 3(a): cumulative swiping probability of multicast group 1.
+
+The paper plots, for one multicast group whose users "watch News videos most
+while Game videos least", the cumulative swiping probability per video
+category.  This benchmark reproduces the same curve: it runs the Fig. 3
+scenario, picks the News-dominated multicast group (the paper's "group 1"),
+abstracts its swiping profile from the digital twins, and prints the
+cumulative distribution.  The asserted shape is the paper's qualitative
+claim: News carries the largest engagement share (the curve starts with
+News), Game carries less than News, and the distribution is a valid CDF
+ending at 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from harness import build_scheme, run_once
+
+
+def _select_news_group(profiles):
+    """The paper's 'group 1': the largest group whose users watch News most."""
+    news_groups = [
+        gid for gid, profile in profiles.items() if profile.most_watched_category() == "News"
+    ]
+    candidates = news_groups if news_groups else list(profiles)
+    return max(candidates, key=lambda gid: len(profiles[gid].member_ids))
+
+
+def _experiment():
+    scheme = build_scheme()
+    result = scheme.run(num_intervals=6)
+    last = result.intervals[-1]
+    group_id = _select_news_group(last.profiles)
+    return last.profiles[group_id]
+
+
+def bench_fig3a_cumulative_swiping_probability(benchmark):
+    profile = run_once(benchmark, _experiment)
+
+    print()
+    print("Fig. 3(a) — cumulative swiping probability of multicast group "
+          f"{profile.group_id} ({len(profile.member_ids)} members)")
+    print(f"{'category':<12s} {'cumulative':>10s} {'engagement share':>17s} {'swipe prob':>11s}")
+    for category, value in profile.cumulative_swiping.items():
+        print(
+            f"{category:<12s} {value:>10.3f} {profile.engagement_share[category]:>17.3f} "
+            f"{profile.swipe_probability[category]:>11.3f}"
+        )
+
+    # --- paper-shape assertions -------------------------------------------
+    values = list(profile.cumulative_swiping.values())
+    # A valid cumulative distribution: monotone, ends at 1.
+    assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+    assert abs(values[-1] - 1.0) < 1e-9
+    # News is the most-watched category of the group (paper's group 1), so it
+    # is the first step of the cumulative curve.
+    assert profile.most_watched_category() == "News"
+    assert next(iter(profile.cumulative_swiping)) == "News"
+    # Game is watched less than News (the paper's group watches Game least).
+    assert profile.engagement_share["Game"] < profile.engagement_share["News"]
+    # Swipe probabilities are proper probabilities.
+    assert all(0.0 <= p <= 1.0 for p in profile.swipe_probability.values())

@@ -1,0 +1,51 @@
+"""Fig. 3(b) + headline number: predicted vs actual radio resource demand.
+
+The paper plots predicted and actual radio resource demand of multicast
+group 1 over reservation intervals and reports "a high prediction accuracy
+up to 95.04 %".  This benchmark runs the same scenario, prints the
+per-interval predicted/actual series (total and for the largest group), and
+asserts the reproduced shape: predictions track actuals closely, with a
+peak per-interval accuracy above 95 % and a high mean.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from harness import build_scheme, run_once
+
+
+def _experiment():
+    scheme = build_scheme()
+    result = scheme.run(num_intervals=7)
+    return scheme, result
+
+
+def bench_fig3b_radio_resource_demand(benchmark):
+    scheme, result = run_once(benchmark, _experiment)
+
+    print()
+    print("Fig. 3(b) — predicted vs actual radio resource demand (resource blocks)")
+    print(f"{'interval':>8s} {'groups':>6s} {'predicted':>10s} {'actual':>8s} {'accuracy':>9s}")
+    for evaluation in result.intervals:
+        print(
+            f"{evaluation.interval_index:>8d} {evaluation.grouping.num_groups:>6d} "
+            f"{evaluation.predicted_radio_blocks:>10.2f} {evaluation.actual_radio_blocks:>8.2f} "
+            f"{evaluation.radio_accuracy:>9.2%}"
+        )
+    mean_accuracy = result.mean_radio_accuracy()
+    max_accuracy = result.max_radio_accuracy()
+    print(f"{'':>8s} {'':>6s} {'':>10s} {'mean':>8s} {mean_accuracy:>9.2%}")
+    print(f"{'':>8s} {'':>6s} {'':>10s} {'max':>8s} {max_accuracy:>9.2%}")
+    print("paper: prediction accuracy up to 95.04 % on radio resource demand")
+
+    # --- paper-shape assertions -------------------------------------------
+    predicted = result.predicted_radio_series()
+    actual = result.actual_radio_series()
+    assert np.all(predicted > 0.0) and np.all(actual > 0.0)
+    # Headline: peak accuracy exceeds the paper's 95.04 % figure.
+    assert max_accuracy >= 0.95
+    # Mean accuracy stays high (predictions track actuals).
+    assert mean_accuracy >= 0.80
+    # Relative error never explodes (every interval within 35 %).
+    assert np.all(np.abs(predicted - actual) / actual < 0.35)

@@ -1,0 +1,67 @@
+"""Shared helpers for the benchmark harnesses.
+
+Every benchmark regenerates one of the paper's panels / headline numbers (or
+one of the ablations called out in DESIGN.md).  The experiments themselves
+are deterministic simulations; ``pytest-benchmark`` is used to run and time
+them once (``rounds=1``) so ``pytest benchmarks/ --benchmark-only`` both
+reproduces the numbers and reports how long each experiment takes.
+
+Run with ``-s`` to see the reproduced tables, e.g.::
+
+    pytest benchmarks/bench_fig3b_radio_demand.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DTResourcePredictionScheme, SchemeConfig, SimulationConfig, StreamingSimulator
+
+
+def fig3_simulation_config(seed: int = 2023, **overrides) -> SimulationConfig:
+    """The Fig. 3 scenario: a News-heavy population on a campus."""
+    options = dict(
+        num_users=24,
+        num_videos=100,
+        num_intervals=9,
+        interval_s=150.0,
+        favourite_category="News",
+        favourite_user_fraction=0.8,
+        favourite_boost=8.0,
+        recommendation_popularity_weight=0.3,
+        popularity_update_rate=0.05,
+        seed=seed,
+    )
+    options.update(overrides)
+    return SimulationConfig(**options)
+
+
+def default_scheme_config(**overrides) -> SchemeConfig:
+    options = dict(
+        warmup_intervals=2,
+        cnn_epochs=6,
+        ddqn_episodes=12,
+        mc_rollouts=10,
+        min_groups=2,
+        max_groups=6,
+        seed=0,
+    )
+    options.update(overrides)
+    return SchemeConfig(**options)
+
+
+def build_scheme(
+    sim_config: SimulationConfig | None = None,
+    scheme_config: SchemeConfig | None = None,
+    k_strategy: str = "ddqn",
+) -> DTResourcePredictionScheme:
+    sim_config = sim_config if sim_config is not None else fig3_simulation_config()
+    scheme_config = scheme_config if scheme_config is not None else default_scheme_config()
+    return DTResourcePredictionScheme(
+        StreamingSimulator(sim_config), scheme_config, k_strategy=k_strategy
+    )
+
+
+def run_once(benchmark, experiment):
+    """Run ``experiment`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(experiment, rounds=1, iterations=1, warmup_rounds=0)

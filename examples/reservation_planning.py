@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Resource reservation from predicted demand (the paper's future work).
+
+The paper predicts per-group radio and computing demand and leaves "how to
+effectively reserve radio and computing resources based on the predicted
+demand" as future work.  This example closes that loop: every reservation
+interval it reserves resource blocks according to the DT-assisted
+prediction (plus a small safety margin), replays the interval, and audits
+over- and under-provisioning against two baselines — a last-value
+extrapolation and a static worst-case reservation.
+
+Run with::
+
+    python examples/reservation_planning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DTResourcePredictionScheme, SchemeConfig, SimulationConfig, StreamingSimulator
+from repro.net import ResourceGrid
+from repro.predict import LastValuePredictor
+
+
+def main() -> None:
+    safety_margin = 1.10  # reserve 10 % above the prediction
+    simulator = StreamingSimulator(
+        SimulationConfig(
+            num_users=24,
+            num_videos=80,
+            num_intervals=9,
+            interval_s=150.0,
+            num_resource_blocks=100,
+            seed=5,
+        )
+    )
+    scheme = DTResourcePredictionScheme(
+        simulator,
+        SchemeConfig(
+            warmup_intervals=2,
+            cnn_epochs=6,
+            ddqn_episodes=12,
+            mc_rollouts=10,
+            max_groups=6,
+            seed=0,
+        ),
+    )
+    scheme.warm_up()
+
+    dt_grid = ResourceGrid(total_blocks=simulator.config.num_resource_blocks)
+    lastvalue_grid = ResourceGrid(total_blocks=simulator.config.num_resource_blocks)
+    static_grid = ResourceGrid(total_blocks=simulator.config.num_resource_blocks)
+    static_reservation = 0.9 * simulator.config.num_resource_blocks
+
+    actual_history: list[float] = []
+    print("interval  DT-reserved  actual  over  under   (resource blocks)")
+    for step in range(7):
+        grouping, _, predictions = scheme.predict_next_interval()
+        groups = grouping.groups()
+        predicted_by_group = {
+            gid: predictions[gid].radio_resource_blocks * safety_margin for gid in groups
+        }
+
+        actual = simulator.run_interval(groups)
+        actual_by_group = {
+            gid: usage.resource_blocks for gid, usage in actual.usage_by_group.items()
+        }
+        total_actual = actual.total_resource_blocks
+
+        # DT-assisted reservation (per group).
+        dt_usage = dt_grid.record_interval(step, predicted_by_group, actual_by_group)
+
+        # Last-value baseline reserves last interval's total, split evenly.
+        if actual_history:
+            baseline_total = LastValuePredictor().predict_next(actual_history) * safety_margin
+        else:
+            baseline_total = static_reservation
+        lastvalue_grid.record_interval(
+            step,
+            {gid: baseline_total / len(groups) for gid in groups},
+            actual_by_group,
+        )
+
+        # Static worst-case reservation.
+        static_grid.record_interval(
+            step,
+            {gid: static_reservation / len(groups) for gid in groups},
+            actual_by_group,
+        )
+
+        actual_history.append(total_actual)
+        print(
+            f"{step:>8d}  {sum(predicted_by_group.values()):>11.2f}  {total_actual:>6.2f}  "
+            f"{dt_usage.over_provisioned_blocks():>5.2f}  {dt_usage.under_provisioned_blocks():>5.2f}"
+        )
+
+    print()
+    print(f"{'reservation policy':<28s} {'mean over-prov':>14s} {'mean under-prov':>15s}")
+    print("-" * 60)
+    for label, grid in (
+        ("DT-assisted prediction", dt_grid),
+        ("last-value extrapolation", lastvalue_grid),
+        ("static worst-case", static_grid),
+    ):
+        print(
+            f"{label:<28s} {grid.mean_over_provisioning():>14.2f} "
+            f"{grid.mean_under_provisioning():>15.2f}"
+        )
+    print()
+    print("Over-provisioned blocks are wasted capacity; under-provisioned blocks mean")
+    print("stalled multicast streams.  Accurate DT-assisted prediction keeps both small.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so the
+package can also be installed with ``python setup.py develop`` in offline
+environments that lack the ``wheel`` package required by PEP-517 editable
+installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""Experiment runners and result formatting.
+
+The benchmark harnesses, the examples and the command-line interface all run
+variations of the same experiments (the Fig. 3 scenario, the grouping /
+staleness / predictor ablations).  This subpackage provides the reusable
+runners that return structured results plus plain-text table formatting, so
+downstream users can script parameter sweeps without copying benchmark code.
+"""
+
+from repro.analysis.experiments import (
+    Fig3Result,
+    GroupingAblationRow,
+    PredictorComparisonResult,
+    PredictorComparisonRow,
+    StalenessAblationRow,
+    run_fig3_experiment,
+    run_grouping_ablation,
+    run_predictor_comparison,
+    run_staleness_ablation,
+)
+from repro.analysis.sweep import SweepPoint, SweepResult, sweep_population_sizes, sweep_scenarios
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "Fig3Result",
+    "GroupingAblationRow",
+    "PredictorComparisonResult",
+    "PredictorComparisonRow",
+    "StalenessAblationRow",
+    "SweepPoint",
+    "SweepResult",
+    "format_table",
+    "run_fig3_experiment",
+    "run_grouping_ablation",
+    "run_predictor_comparison",
+    "run_staleness_ablation",
+    "sweep_population_sizes",
+    "sweep_scenarios",
+]

@@ -1,0 +1,291 @@
+"""Reusable experiment runners.
+
+Each runner builds the simulator and the DT-assisted prediction scheme from
+a few scenario knobs, runs the experiment and returns a small result
+dataclass.  The command-line interface and user scripts consume these; the
+benchmark harnesses keep their own copies of the scenario so the recorded
+numbers in EXPERIMENTS.md stay pinned to one configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core import DTResourcePredictionScheme, SchemeConfig
+from repro.core.accuracy import mean_prediction_accuracy
+from repro.core.pipeline import EvaluationResult
+from repro.core.swiping import GroupSwipingProfile
+from repro.predict import (
+    ARPredictor,
+    EwmaPredictor,
+    LastValuePredictor,
+    LinearTrendPredictor,
+    MovingAveragePredictor,
+    PerUserDemandPredictor,
+    SeriesPredictor,
+)
+from repro.sim import SimulationConfig, StreamingSimulator
+from repro.twin.collector import CollectionPolicy
+
+
+def _default_sim_config(seed: int, num_intervals: int, **overrides) -> SimulationConfig:
+    options = dict(
+        num_users=24,
+        num_videos=100,
+        num_intervals=num_intervals,
+        interval_s=150.0,
+        favourite_category="News",
+        favourite_user_fraction=0.8,
+        favourite_boost=8.0,
+        recommendation_popularity_weight=0.3,
+        popularity_update_rate=0.05,
+        seed=seed,
+    )
+    options.update(overrides)
+    return SimulationConfig(**options)
+
+
+def _default_scheme_config(seed: int = 0, **overrides) -> SchemeConfig:
+    options = dict(
+        warmup_intervals=2,
+        cnn_epochs=6,
+        ddqn_episodes=12,
+        mc_rollouts=10,
+        min_groups=2,
+        max_groups=6,
+        seed=seed,
+    )
+    options.update(overrides)
+    return SchemeConfig(**options)
+
+
+# ------------------------------------------------------------------ Fig. 3 scenario
+@dataclass
+class Fig3Result:
+    """Outcome of the Fig. 3 scenario (both panels plus headline accuracy)."""
+
+    evaluation: EvaluationResult
+    news_group_profile: GroupSwipingProfile
+    mean_radio_accuracy: float
+    max_radio_accuracy: float
+    mean_computing_accuracy: float
+
+    def cumulative_swiping(self) -> Dict[str, float]:
+        return dict(self.news_group_profile.cumulative_swiping)
+
+    def demand_rows(self) -> List[List]:
+        rows = []
+        for evaluation in self.evaluation.intervals:
+            rows.append(
+                [
+                    evaluation.interval_index,
+                    evaluation.grouping.num_groups,
+                    round(evaluation.predicted_radio_blocks, 2),
+                    round(evaluation.actual_radio_blocks, 2),
+                    round(evaluation.radio_accuracy, 4),
+                ]
+            )
+        return rows
+
+
+def run_fig3_experiment(
+    seed: int = 2023,
+    num_users: int = 24,
+    num_eval_intervals: int = 6,
+    interval_s: float = 150.0,
+    scheme_config: Optional[SchemeConfig] = None,
+) -> Fig3Result:
+    """Run the paper's Fig. 3 scenario and return both panels' data."""
+    sim_config = _default_sim_config(
+        seed,
+        num_eval_intervals + 3,
+        num_users=num_users,
+        interval_s=interval_s,
+    )
+    scheme = DTResourcePredictionScheme(
+        StreamingSimulator(sim_config),
+        scheme_config if scheme_config is not None else _default_scheme_config(),
+    )
+    result = scheme.run(num_intervals=num_eval_intervals)
+
+    last = result.intervals[-1]
+    news_groups = [
+        gid
+        for gid, profile in last.profiles.items()
+        if profile.most_watched_category() == "News"
+    ]
+    candidates = news_groups if news_groups else list(last.profiles)
+    group_id = max(candidates, key=lambda gid: len(last.profiles[gid].member_ids))
+
+    return Fig3Result(
+        evaluation=result,
+        news_group_profile=last.profiles[group_id],
+        mean_radio_accuracy=result.mean_radio_accuracy(),
+        max_radio_accuracy=result.max_radio_accuracy(),
+        mean_computing_accuracy=result.mean_computing_accuracy(),
+    )
+
+
+# ------------------------------------------------------------- grouping ablation
+@dataclass
+class GroupingAblationRow:
+    strategy: str
+    mean_groups: float
+    mean_silhouette: float
+    mean_actual_blocks: float
+    mean_accuracy: float
+
+
+def run_grouping_ablation(
+    seed: int = 77,
+    num_eval_intervals: int = 4,
+    fixed_ks: Optional[List[int]] = None,
+) -> List[GroupingAblationRow]:
+    """Compare DDQN-K, silhouette-sweep and fixed-K grouping on one scenario."""
+    fixed_ks = fixed_ks if fixed_ks is not None else [2, 4, 6]
+    plans = [("ddqn", None), ("silhouette", None)] + [("fixed", k) for k in fixed_ks]
+    rows: List[GroupingAblationRow] = []
+    for k_strategy, fixed_k in plans:
+        sim_config = _default_sim_config(seed, num_eval_intervals + 2)
+        scheme = DTResourcePredictionScheme(
+            StreamingSimulator(sim_config),
+            _default_scheme_config(mc_rollouts=8),
+            k_strategy=k_strategy,
+        )
+        scheme.fixed_k = fixed_k
+        result = scheme.run(num_intervals=num_eval_intervals)
+        label = k_strategy if fixed_k is None else f"fixed (K={fixed_k})"
+        rows.append(
+            GroupingAblationRow(
+                strategy=label,
+                mean_groups=float(np.mean([e.grouping.num_groups for e in result.intervals])),
+                mean_silhouette=float(np.mean([e.grouping.silhouette for e in result.intervals])),
+                mean_actual_blocks=float(result.actual_radio_series().mean()),
+                mean_accuracy=float(result.mean_radio_accuracy()),
+            )
+        )
+    return rows
+
+
+# ------------------------------------------------------------ staleness ablation
+@dataclass
+class StalenessAblationRow:
+    label: str
+    period_multiplier: float
+    drop_probability: float
+    mean_accuracy: float
+
+
+def run_staleness_ablation(
+    seeds: Optional[List[int]] = None,
+    num_eval_intervals: int = 4,
+    policies: Optional[Dict[str, CollectionPolicy]] = None,
+) -> List[StalenessAblationRow]:
+    """Measure prediction accuracy as digital-twin collection degrades."""
+    seeds = seeds if seeds is not None else [11, 12]
+    if policies is None:
+        policies = {
+            "fresh": CollectionPolicy.perfect(),
+            "2x period": CollectionPolicy(period_multiplier=2.0),
+            "8x period + 30% loss": CollectionPolicy(period_multiplier=8.0, drop_probability=0.3),
+            "20x period + 70% loss": CollectionPolicy(period_multiplier=20.0, drop_probability=0.7),
+        }
+    rows: List[StalenessAblationRow] = []
+    for label, policy in policies.items():
+        accuracies = []
+        for seed in seeds:
+            sim_config = _default_sim_config(
+                seed, num_eval_intervals + 2, collection_policy=policy
+            )
+            scheme = DTResourcePredictionScheme(
+                StreamingSimulator(sim_config), _default_scheme_config(mc_rollouts=8)
+            )
+            accuracies.append(scheme.run(num_intervals=num_eval_intervals).mean_radio_accuracy())
+        rows.append(
+            StalenessAblationRow(
+                label=label,
+                period_multiplier=policy.period_multiplier,
+                drop_probability=policy.drop_probability,
+                mean_accuracy=float(np.mean(accuracies)),
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------- predictor comparison
+@dataclass
+class PredictorComparisonRow:
+    name: str
+    mean_accuracy: float
+
+
+@dataclass
+class PredictorComparisonResult:
+    rows: List[PredictorComparisonRow] = field(default_factory=list)
+    unicast_blocks: float = 0.0
+    multicast_actual_blocks: float = 0.0
+
+    @property
+    def multicast_saving(self) -> float:
+        if self.unicast_blocks <= 0:
+            return 0.0
+        return 1.0 - self.multicast_actual_blocks / self.unicast_blocks
+
+
+def run_predictor_comparison(
+    seed: int = 55,
+    num_eval_intervals: int = 8,
+    baselines: Optional[List[SeriesPredictor]] = None,
+) -> PredictorComparisonResult:
+    """Compare the DT-assisted scheme with history-only and per-user baselines."""
+    baselines = (
+        baselines
+        if baselines is not None
+        else [
+            LastValuePredictor(),
+            MovingAveragePredictor(window=3),
+            EwmaPredictor(alpha=0.5),
+            LinearTrendPredictor(window=4),
+            ARPredictor(order=2),
+        ]
+    )
+    sim_config = _default_sim_config(seed, num_eval_intervals + 2)
+    scheme = DTResourcePredictionScheme(
+        StreamingSimulator(sim_config), _default_scheme_config(mc_rollouts=10)
+    )
+    result = scheme.run(num_intervals=num_eval_intervals)
+    actual = result.actual_radio_series()
+
+    comparison = PredictorComparisonResult()
+    comparison.rows.append(
+        PredictorComparisonRow("dt-assisted", float(result.mean_radio_accuracy()))
+    )
+    warmup = min(2, len(actual) - 1)
+    for predictor in baselines:
+        predictions = predictor.predict_series(actual, warmup=warmup)
+        comparison.rows.append(
+            PredictorComparisonRow(
+                predictor.name,
+                float(mean_prediction_accuracy(predictions, actual[warmup:])),
+            )
+        )
+
+    simulator = scheme.simulator
+    per_user = PerUserDemandPredictor(
+        simulator.catalog,
+        interval_s=simulator.config.interval_s,
+        rb_bandwidth_hz=simulator.config.rb_bandwidth_hz,
+        stream_bandwidth_hz=simulator.config.stream_bandwidth_hz,
+        implementation_loss=simulator.config.implementation_loss,
+        swipe_gap_s=simulator.config.swipe_gap_s,
+    )
+    window_end = simulator.clock.current_interval * simulator.config.interval_s
+    window_start = window_end - simulator.config.interval_s
+    comparison.unicast_blocks = per_user.total_resource_blocks(
+        per_user.predict_all(simulator.twins, window_start, window_end)
+    )
+    comparison.multicast_actual_blocks = float(actual.mean())
+    return comparison

@@ -1,0 +1,143 @@
+"""Parameter sweeps over the prediction scheme.
+
+A reproduction study usually wants to know how robust the headline accuracy
+is to scenario knobs the paper does not vary (population size, reservation
+interval length, number of Monte-Carlo rollouts, ...).  ``sweep_scenarios``
+runs the end-to-end scheme for every requested configuration and collects
+the accuracy summary per point, so such sensitivity figures are one function
+call away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core import DTResourcePredictionScheme, SchemeConfig
+from repro.sim import SimulationConfig, StreamingSimulator
+
+
+@dataclass
+class SweepPoint:
+    """Result of one sweep configuration."""
+
+    label: str
+    sim_overrides: Dict[str, object]
+    scheme_overrides: Dict[str, object]
+    mean_radio_accuracy: float
+    max_radio_accuracy: float
+    mean_computing_accuracy: float
+    mean_actual_blocks: float
+
+
+@dataclass
+class SweepResult:
+    """All points of a sweep, in execution order."""
+
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def best(self) -> SweepPoint:
+        if not self.points:
+            raise ValueError("sweep produced no points")
+        return max(self.points, key=lambda point: point.mean_radio_accuracy)
+
+    def as_rows(self) -> List[List]:
+        return [
+            [
+                point.label,
+                point.mean_radio_accuracy,
+                point.max_radio_accuracy,
+                point.mean_computing_accuracy,
+                point.mean_actual_blocks,
+            ]
+            for point in self.points
+        ]
+
+
+def _run_point(
+    label: str,
+    sim_overrides: Mapping[str, object],
+    scheme_overrides: Mapping[str, object],
+    num_eval_intervals: int,
+) -> SweepPoint:
+    sim_options = dict(
+        num_users=16,
+        num_videos=60,
+        num_intervals=num_eval_intervals + 2,
+        interval_s=120.0,
+        seed=29,
+    )
+    sim_options.update(sim_overrides)
+    scheme_options = dict(
+        warmup_intervals=2,
+        cnn_epochs=4,
+        ddqn_episodes=6,
+        mc_rollouts=8,
+        min_groups=2,
+        max_groups=5,
+        seed=0,
+    )
+    scheme_options.update(scheme_overrides)
+    scheme = DTResourcePredictionScheme(
+        StreamingSimulator(SimulationConfig(**sim_options)),
+        SchemeConfig(**scheme_options),
+    )
+    result = scheme.run(num_intervals=num_eval_intervals)
+    return SweepPoint(
+        label=label,
+        sim_overrides=dict(sim_overrides),
+        scheme_overrides=dict(scheme_overrides),
+        mean_radio_accuracy=float(result.mean_radio_accuracy()),
+        max_radio_accuracy=float(result.max_radio_accuracy()),
+        mean_computing_accuracy=float(result.mean_computing_accuracy()),
+        mean_actual_blocks=float(result.actual_radio_series().mean()),
+    )
+
+
+def sweep_scenarios(
+    scenarios: Mapping[str, Mapping[str, object]],
+    scheme_overrides: Optional[Mapping[str, Mapping[str, object]]] = None,
+    num_eval_intervals: int = 3,
+) -> SweepResult:
+    """Run the scheme once per named scenario and collect accuracy summaries.
+
+    Parameters
+    ----------
+    scenarios:
+        Mapping from a point label to the :class:`SimulationConfig` overrides
+        of that point (e.g. ``{"20 users": {"num_users": 20}}``).
+    scheme_overrides:
+        Optional per-label :class:`SchemeConfig` overrides.
+    num_eval_intervals:
+        Evaluated intervals per point (after warm-up).
+    """
+    if not scenarios:
+        raise ValueError("scenarios must not be empty")
+    if num_eval_intervals <= 0:
+        raise ValueError("num_eval_intervals must be positive")
+    scheme_overrides = scheme_overrides or {}
+    result = SweepResult()
+    for label, overrides in scenarios.items():
+        result.points.append(
+            _run_point(
+                label,
+                overrides,
+                scheme_overrides.get(label, {}),
+                num_eval_intervals,
+            )
+        )
+    return result
+
+
+def sweep_population_sizes(
+    sizes: Sequence[int],
+    num_eval_intervals: int = 3,
+) -> SweepResult:
+    """Convenience sweep over the number of simulated users."""
+    if not sizes:
+        raise ValueError("sizes must not be empty")
+    scenarios = {f"{size} users": {"num_users": int(size)} for size in sizes}
+    return sweep_scenarios(scenarios, num_eval_intervals=num_eval_intervals)

@@ -1,0 +1,46 @@
+"""User behaviour substrate: preferences, watching duration, swiping, sessions.
+
+The paper's core observation is that users' swiping behaviour (abandoning a
+short video before it finishes) determines how much of each pre-cached video
+is actually transmitted, and therefore how much radio and computing resource
+a multicast group really needs.  This subpackage models the behaviour that
+generates those traces:
+
+* :mod:`repro.behavior.preference` -- per-user category preference vectors
+  updated from engagement time (the "preference" UDT attribute).
+* :mod:`repro.behavior.watching` -- watching-duration model conditioned on
+  how well a video matches the user's preference.
+* :mod:`repro.behavior.swiping` -- swipe-probability distributions derived
+  from watching durations.
+* :mod:`repro.behavior.session` -- a session generator producing the
+  per-user viewing traces the UDTs collect.
+"""
+
+from repro.behavior.preference import (
+    PreferenceModel,
+    PreferenceVector,
+    cosine_similarity,
+    random_preference,
+)
+from repro.behavior.watching import WatchingDurationModel, WatchRecord
+from repro.behavior.swiping import (
+    SwipeProbabilityEstimator,
+    empirical_swipe_distribution,
+    swipe_probability_from_durations,
+)
+from repro.behavior.session import SessionConfig, SessionGenerator, ViewingEvent
+
+__all__ = [
+    "PreferenceModel",
+    "PreferenceVector",
+    "SessionConfig",
+    "SessionGenerator",
+    "SwipeProbabilityEstimator",
+    "ViewingEvent",
+    "WatchRecord",
+    "WatchingDurationModel",
+    "cosine_similarity",
+    "empirical_swipe_distribution",
+    "random_preference",
+    "swipe_probability_from_durations",
+]

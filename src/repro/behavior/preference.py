@@ -1,0 +1,142 @@
+"""User preference vectors over video categories.
+
+A preference vector is a probability distribution over the category
+taxonomy.  The paper updates preferences "based on preference labels and
+engagement time"; :class:`PreferenceModel` implements that update as an
+exponential moving average between the stored preference and the observed
+engagement share per category.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.video.categories import DEFAULT_CATEGORIES
+
+
+class PreferenceVector:
+    """A normalised preference distribution over categories."""
+
+    def __init__(self, values: Mapping[str, float], categories: Optional[Sequence[str]] = None):
+        self.categories = tuple(categories) if categories is not None else tuple(values.keys())
+        if not self.categories:
+            raise ValueError("preference vector needs at least one category")
+        weights = np.array([max(float(values.get(c, 0.0)), 0.0) for c in self.categories])
+        total = weights.sum()
+        if total <= 0:
+            weights = np.ones(len(self.categories))
+            total = weights.sum()
+        self._weights = weights / total
+
+    # ------------------------------------------------------------ accessors
+    def as_dict(self) -> Dict[str, float]:
+        return {c: float(w) for c, w in zip(self.categories, self._weights)}
+
+    def as_array(self, categories: Optional[Sequence[str]] = None) -> np.ndarray:
+        """Preference weights ordered by ``categories`` (default: own order)."""
+        if categories is None:
+            return self._weights.copy()
+        own = self.as_dict()
+        return np.array([own.get(c, 0.0) for c in categories])
+
+    def weight(self, category: str) -> float:
+        return self.as_dict().get(category, 0.0)
+
+    def favourite(self) -> str:
+        """Category with the highest preference weight."""
+        return self.categories[int(np.argmax(self._weights))]
+
+    def least_favourite(self) -> str:
+        return self.categories[int(np.argmin(self._weights))]
+
+    def entropy(self) -> float:
+        """Shannon entropy (nats) — low entropy means a very focused user."""
+        weights = self._weights[self._weights > 0]
+        return float(-(weights * np.log(weights)).sum())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PreferenceVector):
+            return NotImplemented
+        return self.categories == other.categories and np.allclose(
+            self._weights, other._weights
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        pairs = ", ".join(f"{c}={w:.2f}" for c, w in self.as_dict().items())
+        return f"PreferenceVector({pairs})"
+
+
+def random_preference(
+    rng: np.random.Generator,
+    categories: Sequence[str] = DEFAULT_CATEGORIES,
+    concentration: float = 0.7,
+    favourite: Optional[str] = None,
+    favourite_boost: float = 3.0,
+) -> PreferenceVector:
+    """Sample a preference vector from a Dirichlet distribution.
+
+    ``concentration`` below one makes users focused on a few categories,
+    which is what short-video engagement data looks like.  When
+    ``favourite`` is given, that category's Dirichlet parameter is boosted so
+    the user population can be biased (e.g. "group-1 users prefer News").
+    """
+    if concentration <= 0:
+        raise ValueError("concentration must be positive")
+    alphas = np.full(len(categories), concentration)
+    if favourite is not None:
+        if favourite not in categories:
+            raise ValueError(f"favourite {favourite!r} not in categories")
+        alphas[list(categories).index(favourite)] *= favourite_boost
+    weights = rng.dirichlet(alphas)
+    return PreferenceVector(dict(zip(categories, weights)), categories=categories)
+
+
+def cosine_similarity(a: PreferenceVector, b: PreferenceVector) -> float:
+    """Cosine similarity between two preference vectors on a shared category set."""
+    categories = tuple(dict.fromkeys(tuple(a.categories) + tuple(b.categories)))
+    va = a.as_array(categories)
+    vb = b.as_array(categories)
+    denom = np.linalg.norm(va) * np.linalg.norm(vb)
+    if denom == 0:
+        return 0.0
+    return float(np.dot(va, vb) / denom)
+
+
+class PreferenceModel:
+    """Engagement-driven preference updates for a single user.
+
+    The stored preference is blended with the engagement-time share observed
+    in the latest window: ``p <- (1 - lr) * p + lr * engagement_share``.
+    """
+
+    def __init__(
+        self,
+        initial: PreferenceVector,
+        learning_rate: float = 0.2,
+    ) -> None:
+        if not 0.0 <= learning_rate <= 1.0:
+            raise ValueError("learning_rate must be in [0, 1]")
+        self._preference = initial
+        self.learning_rate = learning_rate
+        self.categories = initial.categories
+
+    @property
+    def preference(self) -> PreferenceVector:
+        return self._preference
+
+    def update_from_engagement(self, engagement_seconds: Mapping[str, float]) -> PreferenceVector:
+        """Update the preference from per-category engagement time (seconds)."""
+        total = float(sum(max(v, 0.0) for v in engagement_seconds.values()))
+        if total <= 0:
+            return self._preference
+        observed = np.array(
+            [max(engagement_seconds.get(c, 0.0), 0.0) / total for c in self.categories]
+        )
+        current = self._preference.as_array(self.categories)
+        blended = (1.0 - self.learning_rate) * current + self.learning_rate * observed
+        self._preference = PreferenceVector(
+            dict(zip(self.categories, blended)), categories=self.categories
+        )
+        return self._preference

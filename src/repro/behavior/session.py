@@ -1,0 +1,165 @@
+"""Viewing-session generation.
+
+A session is the sequence of short videos a user is served during a
+reservation interval, together with how long each one was watched before the
+user swiped away.  Sessions are what the base stations observe and what the
+user digital twins record; the whole prediction pipeline is driven by them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.behavior.preference import PreferenceVector
+from repro.behavior.watching import WatchingDurationModel, WatchRecord
+from repro.video.catalog import Video, VideoCatalog
+
+
+@dataclass(frozen=True)
+class ViewingEvent:
+    """One video served to one user within a session."""
+
+    record: WatchRecord
+    start_time_s: float
+
+    @property
+    def end_time_s(self) -> float:
+        return self.start_time_s + self.record.watch_duration_s
+
+
+@dataclass
+class SessionConfig:
+    """Configuration of the session generator."""
+
+    session_duration_s: float = 300.0
+    swipe_gap_s: float = 0.5
+    recommendation_popularity_weight: float = 0.5
+    completion_tolerance_s: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.session_duration_s <= 0:
+            raise ValueError("session_duration_s must be positive")
+        if self.swipe_gap_s < 0:
+            raise ValueError("swipe_gap_s must be non-negative")
+        if not 0.0 <= self.recommendation_popularity_weight <= 1.0:
+            raise ValueError("recommendation_popularity_weight must be in [0, 1]")
+
+
+class SessionGenerator:
+    """Generates viewing sessions for individual users.
+
+    The video served next is sampled from a mixture of global popularity and
+    the user's own category preference (the platform's recommender), and the
+    watch duration comes from :class:`WatchingDurationModel`.
+    """
+
+    def __init__(
+        self,
+        catalog: VideoCatalog,
+        watching_model: Optional[WatchingDurationModel] = None,
+        config: Optional[SessionConfig] = None,
+    ) -> None:
+        self.catalog = catalog
+        self.watching_model = watching_model if watching_model is not None else WatchingDurationModel()
+        self.config = config if config is not None else SessionConfig()
+
+    # ---------------------------------------------------------- video choice
+    def _video_probabilities(self, preference: PreferenceVector) -> np.ndarray:
+        video_ids = self.catalog.video_ids()
+        popularity = self.catalog.popularity.probabilities()
+        pop = np.array([popularity.get(vid, 0.0) for vid in video_ids])
+        pref = np.array(
+            [preference.weight(self.catalog.get(vid).category) for vid in video_ids]
+        )
+        if pop.sum() > 0:
+            pop = pop / pop.sum()
+        if pref.sum() > 0:
+            pref = pref / pref.sum()
+        w = self.config.recommendation_popularity_weight
+        mixture = w * pop + (1.0 - w) * pref
+        total = mixture.sum()
+        if total <= 0:
+            mixture = np.ones(len(video_ids)) / len(video_ids)
+        else:
+            mixture = mixture / total
+        return mixture
+
+    def sample_next_video(
+        self, preference: PreferenceVector, rng: np.random.Generator
+    ) -> Video:
+        """Sample the next video the platform serves to a user."""
+        video_ids = self.catalog.video_ids()
+        probabilities = self._video_probabilities(preference)
+        chosen = int(rng.choice(video_ids, p=probabilities))
+        return self.catalog.get(chosen)
+
+    # -------------------------------------------------------------- sessions
+    def generate_session(
+        self,
+        user_id: int,
+        preference: PreferenceVector,
+        rng: Optional[np.random.Generator] = None,
+        start_time_s: float = 0.0,
+        duration_s: Optional[float] = None,
+    ) -> List[ViewingEvent]:
+        """Generate the viewing events of one user for one interval."""
+        rng = rng if rng is not None else np.random.default_rng(user_id)
+        duration_s = duration_s if duration_s is not None else self.config.session_duration_s
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        events: List[ViewingEvent] = []
+        now = start_time_s
+        end_time = start_time_s + duration_s
+        while now < end_time:
+            video = self.sample_next_video(preference, rng)
+            watch = self.watching_model.sample_watch_duration(video, preference, rng)
+            watch = min(watch, end_time - now)
+            watch = max(watch, 0.0)
+            swiped = watch < video.duration_s - self.config.completion_tolerance_s
+            record = WatchRecord(
+                user_id=user_id,
+                video_id=video.video_id,
+                category=video.category,
+                watch_duration_s=watch,
+                video_duration_s=video.duration_s,
+                swiped=swiped,
+                timestamp_s=now,
+            )
+            events.append(ViewingEvent(record=record, start_time_s=now))
+            now += watch + self.config.swipe_gap_s
+        return events
+
+    def generate_population_sessions(
+        self,
+        preferences: Sequence[PreferenceVector],
+        rng: Optional[np.random.Generator] = None,
+        start_time_s: float = 0.0,
+        duration_s: Optional[float] = None,
+    ) -> List[List[ViewingEvent]]:
+        """Generate one session per user; ``preferences[i]`` belongs to user ``i``."""
+        rng = rng if rng is not None else np.random.default_rng(0)
+        sessions = []
+        for user_id, preference in enumerate(preferences):
+            sessions.append(
+                self.generate_session(
+                    user_id,
+                    preference,
+                    rng=rng,
+                    start_time_s=start_time_s,
+                    duration_s=duration_s,
+                )
+            )
+        return sessions
+
+
+def session_engagement_seconds(events: Sequence[ViewingEvent]) -> dict:
+    """Total watch time per category across a session."""
+    totals: dict = {}
+    for event in events:
+        totals[event.record.category] = (
+            totals.get(event.record.category, 0.0) + event.record.watch_duration_s
+        )
+    return totals

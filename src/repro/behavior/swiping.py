@@ -1,0 +1,201 @@
+"""Swipe-probability abstraction from watching durations.
+
+The paper abstracts each multicast group's *swiping probability
+distribution* from the watching durations stored in the UDTs, and uses it to
+quantify how much of each pre-cached video will actually be played.  This
+module provides the empirical estimators that turn raw watch records into:
+
+* a per-category swipe probability (probability the user abandons a video
+  of that category before it finishes), and
+* a per-category distribution of the watched fraction, from which the
+  expected number of transmitted segments follows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.behavior.watching import WatchRecord
+from repro.video.categories import DEFAULT_CATEGORIES
+
+
+def swipe_probability_from_durations(
+    watch_durations_s: Sequence[float],
+    video_durations_s: Sequence[float],
+    completion_tolerance: float = 1e-6,
+) -> float:
+    """Fraction of viewings abandoned before the video finished."""
+    watch = np.asarray(watch_durations_s, dtype=np.float64)
+    video = np.asarray(video_durations_s, dtype=np.float64)
+    if watch.shape != video.shape:
+        raise ValueError("watch and video duration arrays must have the same shape")
+    if watch.size == 0:
+        return 0.0
+    if np.any(video <= 0):
+        raise ValueError("video durations must be positive")
+    swiped = watch < video - completion_tolerance
+    return float(swiped.mean())
+
+
+def empirical_swipe_distribution(
+    records: Iterable[WatchRecord],
+    categories: Sequence[str] = DEFAULT_CATEGORIES,
+    laplace_smoothing: float = 1.0,
+) -> Dict[str, float]:
+    """Per-category swipe probability with Laplace smoothing.
+
+    Categories with no observations fall back to the smoothed prior of 0.5,
+    which keeps the downstream demand prediction well defined for cold
+    categories.
+    """
+    if laplace_smoothing < 0:
+        raise ValueError("laplace_smoothing must be non-negative")
+    swipes = {category: 0.0 for category in categories}
+    counts = {category: 0.0 for category in categories}
+    for record in records:
+        if record.category not in swipes:
+            continue
+        counts[record.category] += 1.0
+        if record.swiped:
+            swipes[record.category] += 1.0
+    distribution = {}
+    for category in categories:
+        numerator = swipes[category] + laplace_smoothing
+        denominator = counts[category] + 2.0 * laplace_smoothing
+        distribution[category] = numerator / denominator if denominator > 0 else 0.5
+    return distribution
+
+
+class SwipeProbabilityEstimator:
+    """Online estimator of group-level swiping behaviour.
+
+    The estimator ingests watch records (typically everything a multicast
+    group watched during the last reservation interval) and exposes:
+
+    * ``swipe_probability(category)`` -- probability of abandoning a video,
+    * ``mean_watched_fraction(category)`` -- expected fraction watched,
+    * ``cumulative_distribution()`` -- the cumulative swiping probability
+      per category reported in the paper's Fig. 3(a).
+    """
+
+    def __init__(
+        self,
+        categories: Sequence[str] = DEFAULT_CATEGORIES,
+        laplace_smoothing: float = 1.0,
+    ) -> None:
+        if not categories:
+            raise ValueError("categories must not be empty")
+        self.categories = tuple(categories)
+        self.laplace_smoothing = laplace_smoothing
+        self._swipes = {category: 0.0 for category in self.categories}
+        self._counts = {category: 0.0 for category in self.categories}
+        self._watched_fraction_sum = {category: 0.0 for category in self.categories}
+        self._engagement_seconds = {category: 0.0 for category in self.categories}
+
+    # -------------------------------------------------------------- updates
+    def observe(self, record: WatchRecord) -> None:
+        """Ingest one watch record."""
+        if record.category not in self._counts:
+            return
+        self._counts[record.category] += 1.0
+        self._watched_fraction_sum[record.category] += record.watched_fraction
+        self._engagement_seconds[record.category] += record.watch_duration_s
+        if record.swiped:
+            self._swipes[record.category] += 1.0
+
+    def observe_many(self, records: Iterable[WatchRecord]) -> None:
+        for record in records:
+            self.observe(record)
+
+    # ------------------------------------------------------------ estimates
+    @property
+    def total_observations(self) -> float:
+        return float(sum(self._counts.values()))
+
+    def swipe_probability(self, category: str) -> float:
+        if category not in self._counts:
+            raise KeyError(f"unknown category {category!r}")
+        numerator = self._swipes[category] + self.laplace_smoothing
+        denominator = self._counts[category] + 2.0 * self.laplace_smoothing
+        return numerator / denominator if denominator > 0 else 0.5
+
+    def swipe_distribution(self) -> Dict[str, float]:
+        return {category: self.swipe_probability(category) for category in self.categories}
+
+    def mean_watched_fraction(self, category: str) -> float:
+        """Average watched fraction; defaults to 0.5 for unseen categories."""
+        if category not in self._counts:
+            raise KeyError(f"unknown category {category!r}")
+        count = self._counts[category]
+        if count == 0:
+            return 0.5
+        return self._watched_fraction_sum[category] / count
+
+    def watched_fraction_distribution(self) -> Dict[str, float]:
+        return {category: self.mean_watched_fraction(category) for category in self.categories}
+
+    def engagement_seconds(self) -> Dict[str, float]:
+        """Total engagement time per category (drives preference/popularity updates)."""
+        return dict(self._engagement_seconds)
+
+    def category_watch_share(self) -> Dict[str, float]:
+        """Share of total engagement time per category (sums to one)."""
+        total = sum(self._engagement_seconds.values())
+        if total <= 0:
+            return {category: 1.0 / len(self.categories) for category in self.categories}
+        return {
+            category: seconds / total for category, seconds in self._engagement_seconds.items()
+        }
+
+    def cumulative_distribution(self) -> Dict[str, float]:
+        """Cumulative swiping probability per category (Fig. 3a).
+
+        Categories are ordered by engagement (most watched first) and the
+        per-category swipe-share is accumulated, so the curve rises from the
+        most-watched category (News in the paper) to 1.0 at the least-watched
+        category (Game).
+        """
+        share = self.category_watch_share()
+        ordered = sorted(self.categories, key=lambda c: -share[c])
+        swipe_probs = self.swipe_distribution()
+        weights = np.array([share[c] * swipe_probs[c] for c in ordered])
+        total = weights.sum()
+        if total <= 0:
+            weights = np.ones(len(ordered))
+            total = weights.sum()
+        cumulative = np.cumsum(weights / total)
+        return {category: float(value) for category, value in zip(ordered, cumulative)}
+
+    def merge(self, other: "SwipeProbabilityEstimator") -> "SwipeProbabilityEstimator":
+        """Combine two estimators (e.g. when multicast groups are merged)."""
+        if self.categories != other.categories:
+            raise ValueError("cannot merge estimators with different category sets")
+        merged = SwipeProbabilityEstimator(self.categories, self.laplace_smoothing)
+        for category in self.categories:
+            merged._swipes[category] = self._swipes[category] + other._swipes[category]
+            merged._counts[category] = self._counts[category] + other._counts[category]
+            merged._watched_fraction_sum[category] = (
+                self._watched_fraction_sum[category] + other._watched_fraction_sum[category]
+            )
+            merged._engagement_seconds[category] = (
+                self._engagement_seconds[category] + other._engagement_seconds[category]
+            )
+        return merged
+
+
+def expected_transmitted_fraction(
+    swipe_probability: float,
+    mean_watched_fraction_when_swiped: float,
+) -> float:
+    """Expected fraction of a video's segments that must be transmitted.
+
+    With probability ``1 - swipe_probability`` the full video is played;
+    otherwise only the watched prefix is needed.
+    """
+    if not 0.0 <= swipe_probability <= 1.0:
+        raise ValueError("swipe_probability must be in [0, 1]")
+    if not 0.0 <= mean_watched_fraction_when_swiped <= 1.0:
+        raise ValueError("mean_watched_fraction_when_swiped must be in [0, 1]")
+    return (1.0 - swipe_probability) + swipe_probability * mean_watched_fraction_when_swiped

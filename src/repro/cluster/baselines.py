@@ -1,0 +1,117 @@
+"""Baseline multicast grouping strategies.
+
+The paper's contribution is the *two-step* grouping (DDQN-chosen K followed
+by K-means++).  To show its value the evaluation needs simpler comparators:
+
+* :class:`SingleGroupGrouper` -- everyone shares one multicast channel, so
+  the group rate collapses to the worst user's rate.
+* :class:`RandomGrouper` -- a fixed number of groups with random membership.
+* :class:`FixedKGrouper` -- K-means++ with a statically configured K (what an
+  operator without the DDQN would deploy).
+* :class:`AgglomerativeGrouper` -- average-linkage hierarchical clustering
+  cut at K groups, a classical alternative to K-means.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.kmeans import KMeansPlusPlus
+from repro.cluster.metrics import pairwise_euclidean
+
+
+class Grouper:
+    """Common interface: map user feature vectors to group labels."""
+
+    def group(self, points: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        raise NotImplementedError
+
+
+class SingleGroupGrouper(Grouper):
+    """Put every user in multicast group 0."""
+
+    def group(self, points: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        return np.zeros(points.shape[0], dtype=int)
+
+
+class RandomGrouper(Grouper):
+    """Assign users to ``num_groups`` groups uniformly at random.
+
+    Every group is guaranteed to be non-empty (required by the multicast
+    scheduler) by first dealing one user to each group and then assigning
+    the remainder randomly.
+    """
+
+    def __init__(self, num_groups: int) -> None:
+        if num_groups <= 0:
+            raise ValueError("num_groups must be positive")
+        self.num_groups = num_groups
+
+    def group(self, points: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        n = points.shape[0]
+        if n < self.num_groups:
+            raise ValueError(f"cannot form {self.num_groups} groups from {n} users")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        labels = np.empty(n, dtype=int)
+        order = rng.permutation(n)
+        labels[order[: self.num_groups]] = np.arange(self.num_groups)
+        labels[order[self.num_groups :]] = rng.integers(
+            0, self.num_groups, size=n - self.num_groups
+        )
+        return labels
+
+
+class FixedKGrouper(Grouper):
+    """K-means++ clustering with a statically configured number of groups."""
+
+    def __init__(self, num_groups: int, restarts: int = 3) -> None:
+        self.num_groups = num_groups
+        self.restarts = restarts
+
+    def group(self, points: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        kmeans = KMeansPlusPlus(self.num_groups, restarts=self.restarts)
+        return kmeans.fit(points, rng=rng).labels
+
+
+class AgglomerativeGrouper(Grouper):
+    """Average-linkage agglomerative clustering cut at ``num_groups`` clusters."""
+
+    def __init__(self, num_groups: int) -> None:
+        if num_groups <= 0:
+            raise ValueError("num_groups must be positive")
+        self.num_groups = num_groups
+
+    def group(self, points: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        del rng  # deterministic
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        n = points.shape[0]
+        if n < self.num_groups:
+            raise ValueError(f"cannot form {self.num_groups} groups from {n} users")
+        # Start with every point in its own cluster and repeatedly merge the
+        # two clusters with the smallest average pairwise distance.
+        distances = pairwise_euclidean(points)
+        clusters = {i: [i] for i in range(n)}
+        while len(clusters) > self.num_groups:
+            keys = sorted(clusters)
+            best_pair = None
+            best_distance = np.inf
+            for a_pos, a in enumerate(keys):
+                for b in keys[a_pos + 1 :]:
+                    members_a = clusters[a]
+                    members_b = clusters[b]
+                    linkage = float(distances[np.ix_(members_a, members_b)].mean())
+                    if linkage < best_distance:
+                        best_distance = linkage
+                        best_pair = (a, b)
+            assert best_pair is not None
+            a, b = best_pair
+            clusters[a] = clusters[a] + clusters[b]
+            del clusters[b]
+        labels = np.empty(n, dtype=int)
+        for new_label, key in enumerate(sorted(clusters)):
+            labels[clusters[key]] = new_label
+        return labels

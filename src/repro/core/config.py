@@ -1,0 +1,55 @@
+"""Configuration of the DT-assisted prediction scheme."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SchemeConfig:
+    """Hyper-parameters of the end-to-end prediction scheme.
+
+    The defaults are sized so the full pipeline (CNN training, DDQN
+    training, per-interval prediction) runs in a few seconds in the test
+    suite while still exercising every component the paper describes.
+    """
+
+    # 1D-CNN feature compression.
+    feature_steps: int = 32
+    compressed_dim: int = 8
+    cnn_epochs: int = 12
+    cnn_learning_rate: float = 1e-3
+
+    # Two-step multicast group construction.
+    min_groups: int = 2
+    max_groups: int = 6
+    ddqn_episodes: int = 25
+    ddqn_hidden_sizes: tuple = (32, 32)
+    kmeans_restarts: int = 3
+
+    # Group-based demand prediction.
+    mc_rollouts: int = 12
+    recommendation_size: int = 10
+    history_intervals: int = 1
+    swipe_laplace_smoothing: float = 1.0
+
+    # Warm-up before the scheme starts predicting.
+    warmup_intervals: int = 2
+
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.feature_steps <= 0 or self.compressed_dim <= 0:
+            raise ValueError("feature_steps and compressed_dim must be positive")
+        if self.cnn_epochs <= 0:
+            raise ValueError("cnn_epochs must be positive")
+        if self.min_groups < 1 or self.max_groups < self.min_groups:
+            raise ValueError("invalid group-number range")
+        if self.ddqn_episodes <= 0:
+            raise ValueError("ddqn_episodes must be positive")
+        if self.mc_rollouts <= 0:
+            raise ValueError("mc_rollouts must be positive")
+        if self.recommendation_size <= 0:
+            raise ValueError("recommendation_size must be positive")
+        if self.history_intervals <= 0 or self.warmup_intervals <= 0:
+            raise ValueError("history_intervals and warmup_intervals must be positive")

@@ -1,0 +1,254 @@
+"""Group-based radio and computing resource demand prediction.
+
+From each multicast group's abstracted information — swiping-probability
+distribution, mean watched fractions, mean preference, recent channel
+conditions — the predictor estimates what the group will consume in the
+*next* reservation interval:
+
+* **Radio demand**: expected multicast traffic (bits) divided by what one
+  resource block carries at the group's predicted spectral efficiency.
+* **Computing demand**: CPU cycles to transcode the expected stream down to
+  the representation the group can sustain.
+
+The expectation is computed by Monte-Carlo rollout of the group's shared
+stream using only the abstracted group-level statistics (never the
+individual users' ground-truth behaviour models), which is the paper's
+"analyze multicast groups' average engagement time, video traffic, and
+computing consumption" step made concrete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.recommendation import VideoRecommender
+from repro.core.swiping import GroupSwipingProfile, abstract_group_swiping
+from repro.edge.transcoding import TranscodingCostModel
+from repro.net.mcs import spectral_efficiency
+from repro.net.multicast import resource_blocks_for_traffic
+from repro.twin.attributes import CHANNEL_CONDITION
+from repro.twin.manager import DigitalTwinManager
+from repro.video.catalog import VideoCatalog
+
+
+@dataclass
+class GroupDemandPrediction:
+    """Predicted next-interval demand of one multicast group."""
+
+    group_id: int
+    member_ids: List[int]
+    expected_traffic_bits: float
+    expected_engagement_s: float
+    expected_videos: float
+    radio_resource_blocks: float
+    computing_cycles: float
+    efficiency_bps_hz: float
+    representation_name: str
+
+
+@dataclass
+class DemandPredictorConfig:
+    """Parameters of the group demand predictor (defaults match the simulator)."""
+
+    interval_s: float = 300.0
+    rb_bandwidth_hz: float = 180e3
+    stream_bandwidth_hz: float = 1.8e6
+    implementation_loss: float = 0.9
+    swipe_gap_s: float = 0.5
+    recommendation_popularity_weight: float = 0.5
+    cycles_per_pixel: float = 12.0
+    mc_rollouts: int = 12
+    beta_concentration: float = 4.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0 or self.rb_bandwidth_hz <= 0 or self.stream_bandwidth_hz <= 0:
+            raise ValueError("interval and bandwidths must be positive")
+        if self.mc_rollouts <= 0:
+            raise ValueError("mc_rollouts must be positive")
+        if self.beta_concentration <= 0:
+            raise ValueError("beta_concentration must be positive")
+
+
+class GroupDemandPredictor:
+    """Predicts per-group radio and computing demand from abstracted group info."""
+
+    def __init__(
+        self,
+        catalog: VideoCatalog,
+        config: Optional[DemandPredictorConfig] = None,
+    ) -> None:
+        self.catalog = catalog
+        self.config = config if config is not None else DemandPredictorConfig()
+        self.recommender = VideoRecommender(
+            catalog, popularity_weight=self.config.recommendation_popularity_weight
+        )
+        self.transcoder = TranscodingCostModel(cycles_per_pixel=self.config.cycles_per_pixel)
+        self._rng = np.random.default_rng(self.config.seed)
+
+    # ---------------------------------------------------------- link state
+    def predict_link_state(
+        self,
+        member_ids: Sequence[int],
+        twins: DigitalTwinManager,
+        start_s: Optional[float],
+        end_s: Optional[float],
+    ) -> tuple:
+        """``(efficiency, representation)`` predicted from recent channel conditions."""
+        member_means = []
+        for uid in member_ids:
+            store = twins.twin(uid).store(CHANNEL_CONDITION)
+            if start_s is None or end_s is None:
+                values = store.values()
+            else:
+                values = store.window_values(start_s, end_s)
+            if values.size == 0:
+                values = store.values()
+            member_means.append(float(values.mean()) if values.size else 0.0)
+        worst = min(member_means) if member_means else 0.0
+        efficiency = spectral_efficiency(
+            worst, implementation_loss=self.config.implementation_loss
+        )
+        ladder = self.catalog.get(self.catalog.video_ids()[0]).ladder
+        representation = ladder.best_fitting(efficiency * self.config.stream_bandwidth_hz)
+        return efficiency, representation
+
+    # ----------------------------------------------------------- behaviour
+    def _swiped_fraction_mean(self, profile: GroupSwipingProfile, category: str) -> float:
+        """Mean watched fraction conditioned on swiping, derived from the profile.
+
+        The profile stores the overall mean fraction ``f`` and the swipe
+        probability ``p``; since completed viewings have fraction 1,
+        ``f = (1 - p) + p * f_swiped`` and therefore
+        ``f_swiped = (f - (1 - p)) / p``.
+        """
+        p = profile.swipe_probability.get(category, 0.5)
+        f = profile.mean_watched_fraction.get(category, 0.5)
+        if p <= 1e-6:
+            return 0.5
+        swiped = (f - (1.0 - p)) / p
+        return float(min(max(swiped, 0.05), 0.95))
+
+    def _rollout(
+        self,
+        profile: GroupSwipingProfile,
+        sampling: Dict[int, float],
+        representation,
+        rng: np.random.Generator,
+    ) -> tuple:
+        """One Monte-Carlo rollout of the group's shared stream for one interval."""
+        config = self.config
+        video_ids = np.array(list(sampling.keys()))
+        probabilities = np.array(list(sampling.values()))
+        group_size = len(profile.member_ids)
+        kappa = config.beta_concentration
+
+        now = 0.0
+        traffic = 0.0
+        cycles = 0.0
+        engagement = 0.0
+        videos = 0
+        while now < config.interval_s:
+            video = self.catalog.get(int(rng.choice(video_ids, p=probabilities)))
+            category = video.category
+            p_swipe = profile.swipe_probability.get(category, 0.5)
+            swiped_mean = self._swiped_fraction_mean(profile, category)
+            alpha = swiped_mean * kappa
+            beta = (1.0 - swiped_mean) * kappa
+            fractions = np.where(
+                rng.random(group_size) < p_swipe,
+                rng.beta(alpha, beta, size=group_size),
+                1.0,
+            )
+            remaining = config.interval_s - now
+            transmitted = min(float(fractions.max()) * video.duration_s, remaining)
+            traffic += video.bits_watched(representation, transmitted)
+            cycles += self.transcoder.video_cycles(video, representation, transmitted)
+            engagement += float(
+                np.minimum(fractions * video.duration_s, remaining).sum()
+            )
+            videos += 1
+            now += transmitted + config.swipe_gap_s
+        return traffic, cycles, engagement, videos
+
+    # ------------------------------------------------------------ prediction
+    def predict_group(
+        self,
+        profile: GroupSwipingProfile,
+        twins: DigitalTwinManager,
+        window_start_s: Optional[float] = None,
+        window_end_s: Optional[float] = None,
+    ) -> GroupDemandPrediction:
+        """Predict one group's next-interval demand from its abstracted profile."""
+        config = self.config
+        efficiency, representation = self.predict_link_state(
+            profile.member_ids, twins, window_start_s, window_end_s
+        )
+        sampling = self.recommender.sampling_distribution(profile.mean_preference)
+
+        totals = np.zeros(4)
+        for _ in range(config.mc_rollouts):
+            totals += np.array(
+                self._rollout(profile, sampling, representation, self._rng)
+            )
+        traffic, cycles, engagement, videos = totals / config.mc_rollouts
+
+        blocks = resource_blocks_for_traffic(
+            traffic,
+            efficiency,
+            rb_bandwidth_hz=config.rb_bandwidth_hz,
+            interval_s=config.interval_s,
+        )
+        return GroupDemandPrediction(
+            group_id=profile.group_id,
+            member_ids=list(profile.member_ids),
+            expected_traffic_bits=float(traffic),
+            expected_engagement_s=float(engagement),
+            expected_videos=float(videos),
+            radio_resource_blocks=float(blocks),
+            computing_cycles=float(cycles),
+            efficiency_bps_hz=float(efficiency),
+            representation_name=representation.name,
+        )
+
+    def predict_groups(
+        self,
+        grouping: Mapping[int, Sequence[int]],
+        twins: DigitalTwinManager,
+        categories: Sequence[str],
+        window_start_s: Optional[float] = None,
+        window_end_s: Optional[float] = None,
+        laplace_smoothing: float = 1.0,
+    ) -> Dict[int, GroupDemandPrediction]:
+        """Abstract every group's profile and predict its demand."""
+        predictions: Dict[int, GroupDemandPrediction] = {}
+        for group_id, member_ids in grouping.items():
+            profile = abstract_group_swiping(
+                group_id,
+                member_ids,
+                twins,
+                categories,
+                start_s=window_start_s,
+                end_s=window_end_s,
+                laplace_smoothing=laplace_smoothing,
+            )
+            predictions[group_id] = self.predict_group(
+                profile, twins, window_start_s, window_end_s
+            )
+        return predictions
+
+    @staticmethod
+    def total_radio_blocks(predictions: Mapping[int, GroupDemandPrediction]) -> float:
+        finite = [
+            p.radio_resource_blocks
+            for p in predictions.values()
+            if np.isfinite(p.radio_resource_blocks)
+        ]
+        return float(sum(finite))
+
+    @staticmethod
+    def total_computing_cycles(predictions: Mapping[int, GroupDemandPrediction]) -> float:
+        return float(sum(p.computing_cycles for p in predictions.values()))

@@ -1,0 +1,76 @@
+"""Dataset persistence and splitting."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.dataset.schema import DatasetBundle
+
+
+def save_dataset(bundle: DatasetBundle, path: Union[str, Path]) -> Path:
+    """Serialise a dataset bundle to a JSON file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(bundle.to_dict(), handle)
+    return path
+
+
+def load_dataset(path: Union[str, Path]) -> DatasetBundle:
+    """Load a dataset bundle previously written by :func:`save_dataset`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"dataset file {path} does not exist")
+    with path.open("r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    return DatasetBundle.from_dict(data)
+
+
+def train_test_split(
+    bundle: DatasetBundle,
+    test_fraction: float = 0.25,
+    by: str = "time",
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[DatasetBundle, DatasetBundle]:
+    """Split the swipe traces into train and test bundles.
+
+    ``by='time'`` keeps the chronologically-last fraction for testing (the
+    realistic setting for demand prediction); ``by='user'`` holds out a
+    random subset of users entirely.
+    Videos and users are shared by both splits.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    if by not in ("time", "user"):
+        raise ValueError("by must be 'time' or 'user'")
+
+    if by == "time":
+        traces = sorted(bundle.swipe_traces, key=lambda t: t.timestamp_s)
+        split_index = int(round(len(traces) * (1.0 - test_fraction)))
+        train_traces = traces[:split_index]
+        test_traces = traces[split_index:]
+    else:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        user_ids = sorted({user.user_id for user in bundle.users})
+        num_test = max(int(round(len(user_ids) * test_fraction)), 1)
+        test_users = set(rng.choice(user_ids, size=num_test, replace=False).tolist())
+        train_traces = [t for t in bundle.swipe_traces if t.user_id not in test_users]
+        test_traces = [t for t in bundle.swipe_traces if t.user_id in test_users]
+
+    train = DatasetBundle(
+        videos=bundle.videos,
+        users=bundle.users,
+        swipe_traces=train_traces,
+        metadata=dict(bundle.metadata),
+    )
+    test = DatasetBundle(
+        videos=bundle.videos,
+        users=bundle.users,
+        swipe_traces=test_traces,
+        metadata=dict(bundle.metadata),
+    )
+    return train, test

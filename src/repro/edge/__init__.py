@@ -1,0 +1,27 @@
+"""Edge-server substrate: video cache, transcoding cost model, compute accounting.
+
+The edge server in the paper "stores popular short videos with the highest
+representation" and transcodes them to lower representations to adapt to
+network dynamics; its computing (CPU-cycle) consumption is the second
+resource the scheme predicts.
+
+* :mod:`repro.edge.cache` -- popularity-aware / LRU video cache.
+* :mod:`repro.edge.transcoding` -- cycles-per-segment transcoding cost model.
+* :mod:`repro.edge.server` -- the edge server tying cache and transcoder
+  together and accounting per-interval computing usage.
+"""
+
+from repro.edge.cache import CacheEntry, CacheStats, VideoCache
+from repro.edge.transcoding import TranscodingCostModel, TranscodingJob
+from repro.edge.server import EdgeServer, EdgeServerConfig, IntervalComputeUsage
+
+__all__ = [
+    "CacheEntry",
+    "CacheStats",
+    "EdgeServer",
+    "EdgeServerConfig",
+    "IntervalComputeUsage",
+    "TranscodingCostModel",
+    "TranscodingJob",
+    "VideoCache",
+]

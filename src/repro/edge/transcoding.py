@@ -1,0 +1,92 @@
+"""Transcoding cost model.
+
+Computing demand in the paper is the CPU load of transcoding the cached
+highest-representation videos down to the representation each multicast
+group can actually receive.  The cost model charges cycles proportionally to
+the pixel rate of the *target* representation times the transcoded duration,
+scaled by a codec complexity factor — the standard first-order model for
+software transcoding load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.video.catalog import Video
+from repro.video.representations import Representation
+
+
+@dataclass(frozen=True)
+class TranscodingJob:
+    """Transcode ``duration_s`` seconds of one video to a target representation."""
+
+    video_id: int
+    source: Representation
+    target: Representation
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s < 0:
+            raise ValueError("duration_s must be non-negative")
+        if self.target.bitrate_kbps > self.source.bitrate_kbps:
+            raise ValueError("can only transcode downwards (target above source representation)")
+
+
+class TranscodingCostModel:
+    """Cycles-per-pixel transcoding cost.
+
+    ``cycles = cycles_per_pixel * target_pixel_rate * duration * codec_factor``
+    with a small fixed per-job overhead.  Transcoding to the source
+    representation itself costs only the overhead (pass-through).
+    """
+
+    def __init__(
+        self,
+        cycles_per_pixel: float = 12.0,
+        codec_factor: float = 1.0,
+        per_job_overhead_cycles: float = 5e7,
+    ) -> None:
+        if cycles_per_pixel <= 0:
+            raise ValueError("cycles_per_pixel must be positive")
+        if codec_factor <= 0:
+            raise ValueError("codec_factor must be positive")
+        if per_job_overhead_cycles < 0:
+            raise ValueError("per_job_overhead_cycles must be non-negative")
+        self.cycles_per_pixel = cycles_per_pixel
+        self.codec_factor = codec_factor
+        self.per_job_overhead_cycles = per_job_overhead_cycles
+
+    def job_cycles(self, job: TranscodingJob) -> float:
+        """CPU cycles needed for one transcoding job."""
+        if job.duration_s == 0:
+            return 0.0
+        if job.target.name == job.source.name:
+            return self.per_job_overhead_cycles
+        work = (
+            self.cycles_per_pixel
+            * job.target.pixel_rate
+            * job.duration_s
+            * self.codec_factor
+        )
+        return float(work + self.per_job_overhead_cycles)
+
+    def video_cycles(
+        self,
+        video: Video,
+        target: Representation,
+        watched_duration_s: Optional[float] = None,
+    ) -> float:
+        """Cycles to transcode (the watched prefix of) ``video`` to ``target``."""
+        duration = video.duration_s if watched_duration_s is None else watched_duration_s
+        duration = min(max(duration, 0.0), video.duration_s)
+        job = TranscodingJob(
+            video_id=video.video_id,
+            source=video.ladder.highest,
+            target=target,
+            duration_s=duration,
+        )
+        return self.job_cycles(job)
+
+    def total_cycles(self, jobs: Iterable[TranscodingJob]) -> float:
+        return float(sum(self.job_cycles(job) for job in jobs))

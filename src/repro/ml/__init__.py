@@ -1,0 +1,74 @@
+"""Minimal NumPy neural-network framework used by the reproduction.
+
+The paper trains a 1D-CNN (to compress time-series user-digital-twin data)
+and a double deep Q-network (to select the multicast grouping number).
+PyTorch is not available in the offline environment, so this subpackage
+provides the small set of building blocks those two models need:
+
+* :mod:`repro.ml.layers` -- trainable and activation layers with explicit
+  ``forward`` / ``backward`` passes (Dense, Conv1D, pooling, dropout, ...).
+* :mod:`repro.ml.losses` -- mean-squared-error, Huber and cross-entropy
+  losses.
+* :mod:`repro.ml.optim` -- SGD, momentum SGD and Adam optimisers.
+* :mod:`repro.ml.network` -- a ``Sequential`` container with ``fit`` /
+  ``predict`` helpers.
+* :mod:`repro.ml.initializers` -- weight initialisation schemes.
+* :mod:`repro.ml.gradcheck` -- numerical gradient checking used by the
+  test-suite to validate every analytic backward pass.
+
+The framework is intentionally small but fully functional: every layer
+implements an exact analytic gradient which is verified against finite
+differences in the test-suite.
+"""
+
+from repro.ml.initializers import (
+    glorot_uniform,
+    he_uniform,
+    normal_init,
+    zeros_init,
+)
+from repro.ml.layers import (
+    Conv1D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAveragePool1D,
+    Layer,
+    LeakyReLU,
+    MaxPool1D,
+    Parameter,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from repro.ml.losses import CrossEntropyLoss, HuberLoss, Loss, MSELoss
+from repro.ml.network import Sequential
+from repro.ml.optim import SGD, Adam, MomentumSGD, Optimizer
+
+__all__ = [
+    "Adam",
+    "Conv1D",
+    "CrossEntropyLoss",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "GlobalAveragePool1D",
+    "HuberLoss",
+    "Layer",
+    "LeakyReLU",
+    "Loss",
+    "MSELoss",
+    "MaxPool1D",
+    "MomentumSGD",
+    "Optimizer",
+    "Parameter",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Sigmoid",
+    "Tanh",
+    "glorot_uniform",
+    "he_uniform",
+    "normal_init",
+    "zeros_init",
+]

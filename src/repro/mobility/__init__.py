@@ -1,0 +1,33 @@
+"""Mobility substrate: campus map, waypoint mobility and trajectories.
+
+In the paper users are "initially randomly generated in the University of
+Waterloo campus and then move along different trajectories"; their movement
+changes the distance to the serving base station and therefore the channel
+condition the UDTs record.  This subpackage provides:
+
+* :mod:`repro.mobility.campus` -- a networkx waypoint graph laid out like a
+  campus (buildings connected by paths).
+* :mod:`repro.mobility.waypoint` -- free-space random-waypoint mobility.
+* :mod:`repro.mobility.trajectory` -- graph-constrained trajectories
+  (shortest-path walks between buildings) and position traces.
+"""
+
+from repro.mobility.campus import CampusConfig, CampusMap
+from repro.mobility.waypoint import RandomWaypointMobility, WaypointConfig
+from repro.mobility.trajectory import (
+    GraphTrajectoryMobility,
+    MobilityModel,
+    PositionTrace,
+    StaticMobility,
+)
+
+__all__ = [
+    "CampusConfig",
+    "CampusMap",
+    "GraphTrajectoryMobility",
+    "MobilityModel",
+    "PositionTrace",
+    "RandomWaypointMobility",
+    "StaticMobility",
+    "WaypointConfig",
+]

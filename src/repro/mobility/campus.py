@@ -1,0 +1,126 @@
+"""Campus waypoint graph.
+
+The campus is modelled as a planar graph: nodes are buildings / points of
+interest with 2-D coordinates, edges are walkable paths weighted by their
+Euclidean length.  Trajectory mobility walks shortest paths on this graph,
+producing the spatially-correlated movement (and hence channel dynamics)
+that free-space random waypoint lacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+
+@dataclass
+class CampusConfig:
+    """Configuration of the synthetic campus generator."""
+
+    width_m: float = 1000.0
+    height_m: float = 800.0
+    num_buildings: int = 20
+    extra_edge_probability: float = 0.15
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.width_m <= 0 or self.height_m <= 0:
+            raise ValueError("campus dimensions must be positive")
+        if self.num_buildings < 2:
+            raise ValueError("need at least two buildings")
+        if not 0.0 <= self.extra_edge_probability <= 1.0:
+            raise ValueError("extra_edge_probability must be in [0, 1]")
+
+
+class CampusMap:
+    """A connected waypoint graph with 2-D node positions."""
+
+    def __init__(self, graph: nx.Graph) -> None:
+        if graph.number_of_nodes() < 2:
+            raise ValueError("campus graph needs at least two nodes")
+        if not nx.is_connected(graph):
+            raise ValueError("campus graph must be connected")
+        for node, data in graph.nodes(data=True):
+            if "pos" not in data:
+                raise ValueError(f"node {node!r} is missing a 'pos' attribute")
+        self.graph = graph
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def nodes(self) -> List:
+        return list(self.graph.nodes)
+
+    def position(self, node) -> np.ndarray:
+        """2-D coordinates of ``node`` in metres."""
+        return np.asarray(self.graph.nodes[node]["pos"], dtype=np.float64)
+
+    def positions(self) -> Dict:
+        return {node: self.position(node) for node in self.graph.nodes}
+
+    def bounding_box(self) -> Tuple[float, float, float, float]:
+        """``(min_x, min_y, max_x, max_y)`` over all node positions."""
+        coords = np.array([self.position(node) for node in self.graph.nodes])
+        mins = coords.min(axis=0)
+        maxs = coords.max(axis=0)
+        return float(mins[0]), float(mins[1]), float(maxs[0]), float(maxs[1])
+
+    def random_node(self, rng: np.random.Generator):
+        return self.nodes[int(rng.integers(len(self.nodes)))]
+
+    def shortest_path(self, source, target) -> List:
+        """Shortest path (by edge length) between two nodes."""
+        return nx.shortest_path(self.graph, source, target, weight="length")
+
+    def path_positions(self, path: Sequence) -> np.ndarray:
+        """Stack of node positions along ``path`` (shape ``(len(path), 2)``)."""
+        return np.array([self.position(node) for node in path])
+
+    def path_length(self, path: Sequence) -> float:
+        positions = self.path_positions(path)
+        if len(positions) < 2:
+            return 0.0
+        return float(np.linalg.norm(np.diff(positions, axis=0), axis=1).sum())
+
+    # ------------------------------------------------------------ generation
+    @classmethod
+    def generate(cls, config: Optional[CampusConfig] = None) -> "CampusMap":
+        """Generate a random connected campus graph.
+
+        Buildings are scattered uniformly over the campus rectangle; the
+        graph starts as a Euclidean minimum spanning tree (so it is always
+        connected) and a few extra short edges are added to create loops,
+        like real campus footpaths.
+        """
+        config = config if config is not None else CampusConfig()
+        rng = np.random.default_rng(config.seed)
+        positions = np.column_stack(
+            [
+                rng.uniform(0.0, config.width_m, size=config.num_buildings),
+                rng.uniform(0.0, config.height_m, size=config.num_buildings),
+            ]
+        )
+        complete = nx.Graph()
+        for i in range(config.num_buildings):
+            complete.add_node(i, pos=positions[i])
+        for i in range(config.num_buildings):
+            for j in range(i + 1, config.num_buildings):
+                length = float(np.linalg.norm(positions[i] - positions[j]))
+                complete.add_edge(i, j, length=length)
+        mst = nx.minimum_spanning_tree(complete, weight="length")
+        graph = nx.Graph()
+        graph.add_nodes_from(complete.nodes(data=True))
+        graph.add_edges_from(mst.edges(data=True))
+        # Sprinkle extra edges, preferring short ones, to create alternative routes.
+        non_tree_edges = [
+            (u, v, data)
+            for u, v, data in complete.edges(data=True)
+            if not graph.has_edge(u, v)
+        ]
+        non_tree_edges.sort(key=lambda edge: edge[2]["length"])
+        for u, v, data in non_tree_edges:
+            if rng.random() < config.extra_edge_probability:
+                graph.add_edge(u, v, **data)
+        return cls(graph)

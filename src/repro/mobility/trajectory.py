@@ -1,0 +1,174 @@
+"""Mobility models and position traces.
+
+All mobility models share a small interface: :meth:`MobilityModel.position`
+returns a user's 2-D coordinates at a given simulation time.  Two concrete
+models are provided -- a static user and a graph-constrained trajectory
+walker that repeatedly picks a destination building on the campus graph and
+walks the shortest path to it at a (per-leg) random pedestrian speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.mobility.campus import CampusMap
+
+
+class MobilityModel:
+    """Interface: deterministic position as a function of time."""
+
+    def position(self, time_s: float) -> np.ndarray:
+        """2-D position (metres) at ``time_s``."""
+        raise NotImplementedError
+
+    def trace(self, times_s: Sequence[float]) -> "PositionTrace":
+        """Sample the model at several times and return a trace."""
+        times = np.asarray(times_s, dtype=np.float64)
+        positions = np.array([self.position(float(t)) for t in times])
+        return PositionTrace(times=times, positions=positions)
+
+
+@dataclass
+class PositionTrace:
+    """A sampled trajectory: ``positions[i]`` is the location at ``times[i]``."""
+
+    times: np.ndarray
+    positions: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=np.float64)
+        self.positions = np.atleast_2d(np.asarray(self.positions, dtype=np.float64))
+        if self.positions.shape[0] != self.times.shape[0]:
+            raise ValueError("times and positions must have the same length")
+        if self.positions.shape[1] != 2:
+            raise ValueError("positions must be 2-D coordinates")
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def distance_travelled(self) -> float:
+        if len(self) < 2:
+            return 0.0
+        return float(np.linalg.norm(np.diff(self.positions, axis=0), axis=1).sum())
+
+    def distances_to(self, point: Sequence[float]) -> np.ndarray:
+        """Euclidean distance from every trace sample to ``point``."""
+        point = np.asarray(point, dtype=np.float64)
+        return np.linalg.norm(self.positions - point[None, :], axis=1)
+
+
+class StaticMobility(MobilityModel):
+    """A user that never moves (useful baseline and for unit tests)."""
+
+    def __init__(self, position: Sequence[float]) -> None:
+        self._position = np.asarray(position, dtype=np.float64)
+        if self._position.shape != (2,):
+            raise ValueError("position must be a 2-D coordinate")
+
+    def position(self, time_s: float) -> np.ndarray:
+        return self._position.copy()
+
+
+@dataclass
+class _Leg:
+    """One straight-line leg of a piecewise-linear trajectory."""
+
+    start_time_s: float
+    end_time_s: float
+    start: np.ndarray
+    end: np.ndarray
+
+    def position(self, time_s: float) -> np.ndarray:
+        if self.end_time_s <= self.start_time_s:
+            return self.end.copy()
+        fraction = (time_s - self.start_time_s) / (self.end_time_s - self.start_time_s)
+        fraction = min(max(fraction, 0.0), 1.0)
+        return self.start + fraction * (self.end - self.start)
+
+
+class GraphTrajectoryMobility(MobilityModel):
+    """Shortest-path walks between random buildings on a campus graph.
+
+    The user starts at a random node, repeatedly picks a random destination
+    node, walks the shortest path to it at a per-trip speed sampled from
+    ``[min_speed_mps, max_speed_mps]``, pauses, and repeats.  Legs are
+    pre-generated lazily up to the queried time, so positions are
+    deterministic for a given seed regardless of query order.
+    """
+
+    def __init__(
+        self,
+        campus: CampusMap,
+        seed: int = 0,
+        min_speed_mps: float = 0.8,
+        max_speed_mps: float = 2.0,
+        pause_time_s: float = 30.0,
+        start_node=None,
+    ) -> None:
+        if min_speed_mps <= 0 or max_speed_mps < min_speed_mps:
+            raise ValueError("invalid speed range")
+        if pause_time_s < 0:
+            raise ValueError("pause_time_s must be non-negative")
+        self.campus = campus
+        self.min_speed_mps = min_speed_mps
+        self.max_speed_mps = max_speed_mps
+        self.pause_time_s = pause_time_s
+        self._rng = np.random.default_rng(seed)
+        self._current_node = start_node if start_node is not None else campus.random_node(self._rng)
+        self._legs: List[_Leg] = []
+        self._generated_until_s = 0.0
+        self._last_position = campus.position(self._current_node)
+
+    # ------------------------------------------------------------ extension
+    def _extend_until(self, time_s: float) -> None:
+        while self._generated_until_s <= time_s:
+            destination = self.campus.random_node(self._rng)
+            if destination == self._current_node:
+                # A pause in place still advances time.
+                self._append_pause()
+                continue
+            path = self.campus.shortest_path(self._current_node, destination)
+            speed = float(self._rng.uniform(self.min_speed_mps, self.max_speed_mps))
+            positions = self.campus.path_positions(path)
+            for start, end in zip(positions[:-1], positions[1:]):
+                length = float(np.linalg.norm(end - start))
+                duration = length / speed if speed > 0 else 0.0
+                leg = _Leg(
+                    start_time_s=self._generated_until_s,
+                    end_time_s=self._generated_until_s + duration,
+                    start=np.asarray(start, dtype=np.float64),
+                    end=np.asarray(end, dtype=np.float64),
+                )
+                self._legs.append(leg)
+                self._generated_until_s = leg.end_time_s
+                self._last_position = leg.end
+            self._current_node = destination
+            self._append_pause()
+
+    def _append_pause(self) -> None:
+        if self.pause_time_s <= 0:
+            # Avoid an infinite loop when the destination equals the source.
+            self._generated_until_s += 1.0
+            return
+        leg = _Leg(
+            start_time_s=self._generated_until_s,
+            end_time_s=self._generated_until_s + self.pause_time_s,
+            start=self._last_position.copy(),
+            end=self._last_position.copy(),
+        )
+        self._legs.append(leg)
+        self._generated_until_s = leg.end_time_s
+
+    # -------------------------------------------------------------- queries
+    def position(self, time_s: float) -> np.ndarray:
+        if time_s < 0:
+            raise ValueError("time_s must be non-negative")
+        self._extend_until(time_s)
+        for leg in self._legs:
+            if leg.start_time_s <= time_s <= leg.end_time_s:
+                return leg.position(time_s)
+        # time_s falls just beyond the last generated leg boundary.
+        return self._last_position.copy()

@@ -1,0 +1,100 @@
+"""Free-space random-waypoint mobility.
+
+The classic random-waypoint model: pick a uniformly random destination in
+the simulation rectangle, move towards it in a straight line at a random
+speed, pause, repeat.  It serves as the unconstrained baseline to the
+campus-graph trajectories and is handy for tests because it needs no graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.mobility.trajectory import MobilityModel, _Leg
+
+
+@dataclass
+class WaypointConfig:
+    """Configuration of :class:`RandomWaypointMobility`."""
+
+    width_m: float = 1000.0
+    height_m: float = 800.0
+    min_speed_mps: float = 0.8
+    max_speed_mps: float = 2.0
+    pause_time_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.width_m <= 0 or self.height_m <= 0:
+            raise ValueError("area dimensions must be positive")
+        if self.min_speed_mps <= 0 or self.max_speed_mps < self.min_speed_mps:
+            raise ValueError("invalid speed range")
+        if self.pause_time_s < 0:
+            raise ValueError("pause_time_s must be non-negative")
+
+
+class RandomWaypointMobility(MobilityModel):
+    """Random-waypoint movement inside a rectangle."""
+
+    def __init__(
+        self,
+        config: Optional[WaypointConfig] = None,
+        seed: int = 0,
+        start_position: Optional[np.ndarray] = None,
+    ) -> None:
+        self.config = config if config is not None else WaypointConfig()
+        self._rng = np.random.default_rng(seed)
+        if start_position is None:
+            start_position = np.array(
+                [
+                    self._rng.uniform(0.0, self.config.width_m),
+                    self._rng.uniform(0.0, self.config.height_m),
+                ]
+            )
+        self._last_position = np.asarray(start_position, dtype=np.float64)
+        if self._last_position.shape != (2,):
+            raise ValueError("start_position must be a 2-D coordinate")
+        self._legs: List[_Leg] = []
+        self._generated_until_s = 0.0
+
+    def _extend_until(self, time_s: float) -> None:
+        config = self.config
+        while self._generated_until_s <= time_s:
+            destination = np.array(
+                [
+                    self._rng.uniform(0.0, config.width_m),
+                    self._rng.uniform(0.0, config.height_m),
+                ]
+            )
+            speed = float(self._rng.uniform(config.min_speed_mps, config.max_speed_mps))
+            length = float(np.linalg.norm(destination - self._last_position))
+            duration = length / speed if speed > 0 else 0.0
+            move = _Leg(
+                start_time_s=self._generated_until_s,
+                end_time_s=self._generated_until_s + duration,
+                start=self._last_position.copy(),
+                end=destination,
+            )
+            self._legs.append(move)
+            self._generated_until_s = move.end_time_s
+            self._last_position = destination
+            if config.pause_time_s > 0:
+                pause = _Leg(
+                    start_time_s=self._generated_until_s,
+                    end_time_s=self._generated_until_s + config.pause_time_s,
+                    start=destination.copy(),
+                    end=destination.copy(),
+                )
+                self._legs.append(pause)
+                self._generated_until_s = pause.end_time_s
+
+    def position(self, time_s: float) -> np.ndarray:
+        if time_s < 0:
+            raise ValueError("time_s must be non-negative")
+        self._extend_until(time_s)
+        for leg in self._legs:
+            if leg.start_time_s <= time_s <= leg.end_time_s:
+                return leg.position(time_s)
+        return self._last_position.copy()

@@ -1,0 +1,48 @@
+"""Wireless network substrate: channel, MCS, base stations, multicast, resources.
+
+The paper reserves *radio* resources for multicast transmission of short
+videos.  The radio model here is a standard cellular downlink abstraction:
+
+* :mod:`repro.net.channel` -- log-distance path loss, log-normal shadowing
+  and Rayleigh fast fading producing per-user SNR time series (the
+  "channel condition" UDT attribute).
+* :mod:`repro.net.mcs` -- SNR to spectral-efficiency mapping (CQI/MCS
+  table) with an optional implementation-loss factor.
+* :mod:`repro.net.basestation` -- base stations with position, transmit
+  power and a resource-block budget; strongest-SNR user association.
+* :mod:`repro.net.multicast` -- multicast channels whose rate is limited by
+  the worst user in the group, and the conversion from group traffic to
+  resource-block demand.
+* :mod:`repro.net.resources` -- resource-block accounting / allocation.
+"""
+
+from repro.net.channel import ChannelConfig, ChannelModel, snr_db_to_linear, snr_linear_to_db
+from repro.net.mcs import MCS_TABLE, McsEntry, select_mcs, spectral_efficiency
+from repro.net.basestation import BaseStation, BaseStationConfig, associate_users
+from repro.net.multicast import (
+    MulticastChannel,
+    MulticastScheduler,
+    group_spectral_efficiency,
+    resource_blocks_for_traffic,
+)
+from repro.net.resources import ResourceBlockBudget, ResourceGrid
+
+__all__ = [
+    "BaseStation",
+    "BaseStationConfig",
+    "ChannelConfig",
+    "ChannelModel",
+    "MCS_TABLE",
+    "McsEntry",
+    "MulticastChannel",
+    "MulticastScheduler",
+    "ResourceBlockBudget",
+    "ResourceGrid",
+    "associate_users",
+    "group_spectral_efficiency",
+    "resource_blocks_for_traffic",
+    "select_mcs",
+    "snr_db_to_linear",
+    "snr_linear_to_db",
+    "spectral_efficiency",
+]

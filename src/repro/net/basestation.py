@@ -1,0 +1,111 @@
+"""Base stations and user association.
+
+A base station has a position, a transmit power, a carrier bandwidth and a
+resource-block budget.  Users associate with the base station offering the
+strongest mean SNR (distance-based), which mirrors standard max-RSRP cell
+selection and determines which BS each multicast group hangs off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.net.channel import ChannelConfig, ChannelModel
+
+
+@dataclass
+class BaseStationConfig:
+    """Static parameters of a base station."""
+
+    tx_power_dbm: float = 43.0
+    bandwidth_hz: float = 20e6
+    resource_block_bandwidth_hz: float = 180e3
+    num_resource_blocks: int = 100
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_hz <= 0 or self.resource_block_bandwidth_hz <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.num_resource_blocks <= 0:
+            raise ValueError("num_resource_blocks must be positive")
+
+
+@dataclass
+class BaseStation:
+    """A cellular base station serving multicast groups."""
+
+    bs_id: int
+    position: np.ndarray
+    config: BaseStationConfig = field(default_factory=BaseStationConfig)
+    channel: Optional[ChannelModel] = None
+
+    def __post_init__(self) -> None:
+        self.position = np.asarray(self.position, dtype=np.float64)
+        if self.position.shape != (2,):
+            raise ValueError("position must be a 2-D coordinate")
+        if self.channel is None:
+            self.channel = ChannelModel(
+                ChannelConfig(bandwidth_hz=self.config.resource_block_bandwidth_hz),
+                seed=self.bs_id,
+            )
+
+    def distance_to(self, point: Sequence[float]) -> float:
+        point = np.asarray(point, dtype=np.float64)
+        return float(np.linalg.norm(self.position - point))
+
+    def mean_snr_db(self, point: Sequence[float]) -> float:
+        """Average SNR a user at ``point`` would see from this BS."""
+        assert self.channel is not None
+        return self.channel.mean_snr_db(self.config.tx_power_dbm, self.distance_to(point))
+
+    def sample_snr_db(
+        self, point: Sequence[float], rng: Optional[np.random.Generator] = None
+    ) -> float:
+        """Instantaneous SNR sample for a user at ``point``."""
+        assert self.channel is not None
+        return self.channel.sample_snr_db(
+            self.config.tx_power_dbm, self.distance_to(point), rng=rng
+        )
+
+
+def associate_users(
+    user_positions: Sequence[Sequence[float]],
+    base_stations: Sequence[BaseStation],
+) -> Dict[int, List[int]]:
+    """Associate each user with the strongest-SNR base station.
+
+    Returns a mapping ``bs_id -> list of user indices``.  Every base station
+    id appears in the result, possibly with an empty list.
+    """
+    if not base_stations:
+        raise ValueError("need at least one base station")
+    association: Dict[int, List[int]] = {bs.bs_id: [] for bs in base_stations}
+    for user_index, position in enumerate(user_positions):
+        best = max(base_stations, key=lambda bs: bs.mean_snr_db(position))
+        association[best.bs_id].append(user_index)
+    return association
+
+
+def place_base_stations(
+    count: int,
+    width_m: float,
+    height_m: float,
+    config: Optional[BaseStationConfig] = None,
+) -> List[BaseStation]:
+    """Place ``count`` base stations on a regular grid covering the area."""
+    if count <= 0:
+        raise ValueError("count must be positive")
+    if width_m <= 0 or height_m <= 0:
+        raise ValueError("area dimensions must be positive")
+    config = config if config is not None else BaseStationConfig()
+    columns = int(np.ceil(np.sqrt(count)))
+    rows = int(np.ceil(count / columns))
+    stations: List[BaseStation] = []
+    for index in range(count):
+        row, column = divmod(index, columns)
+        x = (column + 0.5) * width_m / columns
+        y = (row + 0.5) * height_m / rows
+        stations.append(BaseStation(bs_id=index, position=np.array([x, y]), config=config))
+    return stations

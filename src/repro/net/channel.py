@@ -1,0 +1,130 @@
+"""Downlink channel model.
+
+Per-user SNR is computed from transmit power, log-distance path loss,
+log-normal shadowing and (optionally) Rayleigh fast fading over thermal
+noise.  The resulting SNR time series is exactly the "channel condition"
+attribute the user digital twins collect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+#: Thermal noise power spectral density in dBm/Hz at 290 K.
+THERMAL_NOISE_DBM_PER_HZ = -174.0
+
+
+def snr_db_to_linear(snr_db: float) -> float:
+    """Convert a dB value to linear scale."""
+    return float(10.0 ** (np.asarray(snr_db, dtype=np.float64) / 10.0))
+
+
+def snr_linear_to_db(snr_linear: float) -> float:
+    """Convert a linear SNR to dB (raises on non-positive input)."""
+    snr_linear = float(snr_linear)
+    if snr_linear <= 0:
+        raise ValueError("linear SNR must be positive")
+    return float(10.0 * np.log10(snr_linear))
+
+
+@dataclass
+class ChannelConfig:
+    """Parameters of the path-loss / shadowing / fading channel."""
+
+    carrier_frequency_ghz: float = 2.6
+    path_loss_exponent: float = 3.5
+    reference_distance_m: float = 1.0
+    shadowing_std_db: float = 6.0
+    rayleigh_fading: bool = True
+    noise_figure_db: float = 7.0
+    bandwidth_hz: float = 180e3  # one resource block
+    min_distance_m: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.carrier_frequency_ghz <= 0:
+            raise ValueError("carrier_frequency_ghz must be positive")
+        if self.path_loss_exponent < 2.0:
+            raise ValueError("path_loss_exponent below free-space (2.0) is not physical")
+        if self.reference_distance_m <= 0 or self.min_distance_m <= 0:
+            raise ValueError("distances must be positive")
+        if self.shadowing_std_db < 0:
+            raise ValueError("shadowing_std_db must be non-negative")
+        if self.bandwidth_hz <= 0:
+            raise ValueError("bandwidth_hz must be positive")
+
+    @property
+    def noise_power_dbm(self) -> float:
+        """Total noise power over ``bandwidth_hz`` including the noise figure."""
+        return (
+            THERMAL_NOISE_DBM_PER_HZ
+            + 10.0 * np.log10(self.bandwidth_hz)
+            + self.noise_figure_db
+        )
+
+
+class ChannelModel:
+    """Stochastic downlink channel producing per-sample SNR values."""
+
+    def __init__(self, config: Optional[ChannelConfig] = None, seed: int = 0) -> None:
+        self.config = config if config is not None else ChannelConfig()
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------ path loss
+    def path_loss_db(self, distance_m: float) -> float:
+        """Log-distance path loss with a free-space reference term."""
+        config = self.config
+        distance_m = max(float(distance_m), config.min_distance_m)
+        # Free-space path loss at the reference distance.
+        reference_loss = (
+            20.0 * np.log10(config.reference_distance_m)
+            + 20.0 * np.log10(config.carrier_frequency_ghz * 1e9)
+            - 147.55
+        )
+        return float(
+            reference_loss
+            + 10.0 * config.path_loss_exponent * np.log10(distance_m / config.reference_distance_m)
+        )
+
+    # ------------------------------------------------------------------ SNR
+    def mean_snr_db(self, tx_power_dbm: float, distance_m: float) -> float:
+        """Average SNR (no shadowing / fading) at ``distance_m``."""
+        received = tx_power_dbm - self.path_loss_db(distance_m)
+        return float(received - self.config.noise_power_dbm)
+
+    def sample_snr_db(
+        self,
+        tx_power_dbm: float,
+        distance_m: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """Sample an instantaneous SNR including shadowing and fast fading."""
+        rng = rng if rng is not None else self._rng
+        snr_db = self.mean_snr_db(tx_power_dbm, distance_m)
+        if self.config.shadowing_std_db > 0:
+            snr_db += float(rng.normal(0.0, self.config.shadowing_std_db))
+        if self.config.rayleigh_fading:
+            # Rayleigh fading: exponential power gain with unit mean.
+            fading_gain = float(rng.exponential(1.0))
+            fading_gain = max(fading_gain, 1e-6)
+            snr_db += 10.0 * np.log10(fading_gain)
+        return float(snr_db)
+
+    def sample_snr_series_db(
+        self,
+        tx_power_dbm: float,
+        distances_m: Sequence[float],
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Sample one SNR per distance sample (a user's channel-condition trace)."""
+        rng = rng if rng is not None else self._rng
+        return np.array(
+            [self.sample_snr_db(tx_power_dbm, d, rng=rng) for d in np.asarray(distances_m)]
+        )
+
+    def shannon_rate_bps(self, snr_db: float, bandwidth_hz: Optional[float] = None) -> float:
+        """Shannon capacity at the given SNR (upper bound used in sanity checks)."""
+        bandwidth = bandwidth_hz if bandwidth_hz is not None else self.config.bandwidth_hz
+        return float(bandwidth * np.log2(1.0 + snr_db_to_linear(snr_db)))

@@ -1,0 +1,31 @@
+"""Baseline demand predictors.
+
+The evaluation compares the DT-assisted scheme against simple history-based
+predictors that see only the per-interval demand series (no digital twins,
+no behaviour abstraction): last-value, moving-average, exponentially-weighted
+moving average and a linear trend, plus a per-user (unicast) variant of the
+group-level prediction.
+"""
+
+from repro.predict.autoregressive import ARPredictor, SeasonalNaivePredictor
+from repro.predict.baselines import (
+    EwmaPredictor,
+    LastValuePredictor,
+    LinearTrendPredictor,
+    MeanPredictor,
+    MovingAveragePredictor,
+    SeriesPredictor,
+)
+from repro.predict.peruser import PerUserDemandPredictor
+
+__all__ = [
+    "ARPredictor",
+    "EwmaPredictor",
+    "LastValuePredictor",
+    "LinearTrendPredictor",
+    "MeanPredictor",
+    "MovingAveragePredictor",
+    "PerUserDemandPredictor",
+    "SeasonalNaivePredictor",
+    "SeriesPredictor",
+]

@@ -1,0 +1,75 @@
+"""Autoregressive and seasonal baseline predictors.
+
+Two slightly stronger history-only baselines than the moving averages in
+:mod:`repro.predict.baselines`:
+
+* :class:`ARPredictor` -- an AR(p) model fitted by ordinary least squares on
+  the observed demand series (re-fitted at every prediction, which is cheap
+  at per-interval scale).
+* :class:`SeasonalNaivePredictor` -- repeats the value observed one season
+  ago (e.g. the same time yesterday), useful when demand has a daily
+  pattern.
+
+Like all predictors in this package they see only the scalar demand series;
+no digital-twin information is used.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.predict.baselines import SeriesPredictor
+
+
+class ARPredictor(SeriesPredictor):
+    """Autoregressive model of order ``p`` fitted by least squares."""
+
+    name = "ar"
+
+    def __init__(self, order: int = 2, ridge: float = 1e-6) -> None:
+        if order < 1:
+            raise ValueError("order must be at least 1")
+        if ridge < 0:
+            raise ValueError("ridge must be non-negative")
+        self.order = order
+        self.ridge = ridge
+
+    def _fit(self, history: np.ndarray) -> np.ndarray:
+        """Return ``[c, a_1 .. a_p]`` fitted on the available history."""
+        p = self.order
+        rows = len(history) - p
+        design = np.ones((rows, p + 1))
+        for lag in range(1, p + 1):
+            design[:, lag] = history[p - lag : len(history) - lag]
+        targets = history[p:]
+        gram = design.T @ design + self.ridge * np.eye(p + 1)
+        return np.linalg.solve(gram, design.T @ targets)
+
+    def predict_next(self, history: Sequence[float]) -> float:
+        history = self._validate(history)
+        if history.size <= self.order:
+            # Not enough data to fit: fall back to the last value.
+            return float(history[-1])
+        coefficients = self._fit(history)
+        lags = history[-self.order :][::-1]
+        prediction = coefficients[0] + float(np.dot(coefficients[1:], lags))
+        return float(max(prediction, 0.0))
+
+
+class SeasonalNaivePredictor(SeriesPredictor):
+    """Predict the value observed exactly one season (``period`` steps) ago."""
+
+    name = "seasonal-naive"
+
+    def __init__(self, period: int = 4) -> None:
+        if period < 1:
+            raise ValueError("period must be at least 1")
+        self.period = period
+
+    def predict_next(self, history: Sequence[float]) -> float:
+        history = self._validate(history)
+        if history.size < self.period:
+            return float(history[-1])
+        return float(history[-self.period])

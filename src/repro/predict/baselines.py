@@ -1,0 +1,123 @@
+"""History-only time-series predictors.
+
+Every predictor implements the same one-step-ahead interface: given the
+demand observed in previous reservation intervals, predict the next
+interval's demand.  They know nothing about users, twins or behaviour —
+which is precisely why the DT-assisted scheme should beat them whenever the
+population or its behaviour shifts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+class SeriesPredictor:
+    """One-step-ahead predictor over a scalar series."""
+
+    #: Human-readable name used in benchmark tables.
+    name: str = "base"
+
+    def predict_next(self, history: Sequence[float]) -> float:
+        """Predict the next value from ``history`` (oldest first)."""
+        raise NotImplementedError
+
+    def predict_series(self, series: Sequence[float], warmup: int = 1) -> np.ndarray:
+        """Walk-forward predictions for ``series[warmup:]``.
+
+        ``result[i]`` is the prediction for ``series[warmup + i]`` computed
+        from ``series[:warmup + i]``.
+        """
+        series = np.asarray(series, dtype=np.float64)
+        if warmup < 1:
+            raise ValueError("warmup must be at least 1")
+        if series.size <= warmup:
+            raise ValueError("series must be longer than warmup")
+        predictions = []
+        for index in range(warmup, series.size):
+            predictions.append(self.predict_next(series[:index]))
+        return np.asarray(predictions)
+
+    @staticmethod
+    def _validate(history: Sequence[float]) -> np.ndarray:
+        history = np.asarray(history, dtype=np.float64)
+        if history.size == 0:
+            raise ValueError("history must not be empty")
+        return history
+
+
+class LastValuePredictor(SeriesPredictor):
+    """Predict the next interval equals the last observed interval."""
+
+    name = "last-value"
+
+    def predict_next(self, history: Sequence[float]) -> float:
+        history = self._validate(history)
+        return float(history[-1])
+
+
+class MeanPredictor(SeriesPredictor):
+    """Predict the running mean of the whole history."""
+
+    name = "mean"
+
+    def predict_next(self, history: Sequence[float]) -> float:
+        history = self._validate(history)
+        return float(history.mean())
+
+
+class MovingAveragePredictor(SeriesPredictor):
+    """Mean of the last ``window`` observations."""
+
+    name = "moving-average"
+
+    def __init__(self, window: int = 3) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+
+    def predict_next(self, history: Sequence[float]) -> float:
+        history = self._validate(history)
+        return float(history[-self.window :].mean())
+
+
+class EwmaPredictor(SeriesPredictor):
+    """Exponentially weighted moving average."""
+
+    name = "ewma"
+
+    def __init__(self, alpha: float = 0.5) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+
+    def predict_next(self, history: Sequence[float]) -> float:
+        history = self._validate(history)
+        estimate = float(history[0])
+        for value in history[1:]:
+            estimate = self.alpha * float(value) + (1.0 - self.alpha) * estimate
+        return estimate
+
+
+class LinearTrendPredictor(SeriesPredictor):
+    """Least-squares linear extrapolation over the last ``window`` points."""
+
+    name = "linear-trend"
+
+    def __init__(self, window: int = 4) -> None:
+        if window < 2:
+            raise ValueError("window must be at least 2")
+        self.window = window
+
+    def predict_next(self, history: Sequence[float]) -> float:
+        history = self._validate(history)
+        tail = history[-self.window :]
+        if tail.size < 2:
+            return float(tail[-1])
+        x = np.arange(tail.size, dtype=np.float64)
+        slope, intercept = np.polyfit(x, tail, deg=1)
+        prediction = slope * tail.size + intercept
+        # Demand cannot be negative; clamp extrapolation.
+        return float(max(prediction, 0.0))

@@ -1,0 +1,42 @@
+"""Simulation substrate: clock, events, the streaming simulator and metrics.
+
+The simulator is the ground truth the prediction scheme is evaluated
+against.  Per reservation interval it:
+
+1. moves users along their campus trajectories and samples their downlink
+   SNR from the serving base station,
+2. plays out multicast streaming for a given grouping (shared video stream
+   per group, per-member watch durations, worst-member modulation),
+3. performs the edge transcoding those streams require, and
+4. pushes user status into the digital twins through the status collector.
+
+The per-group radio (resource blocks) and computing (CPU cycles) usage it
+records is what the DT-assisted scheme must predict *before* the interval
+starts.
+"""
+
+from repro.sim.clock import SimulationClock
+from repro.sim.events import Event, EventQueue
+from repro.sim.metrics import MetricRecorder, SeriesSummary
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import (
+    GroupIntervalUsage,
+    IntervalResult,
+    StreamingSimulator,
+    UserState,
+    singleton_grouping,
+)
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "GroupIntervalUsage",
+    "IntervalResult",
+    "MetricRecorder",
+    "SeriesSummary",
+    "SimulationClock",
+    "SimulationConfig",
+    "StreamingSimulator",
+    "UserState",
+    "singleton_grouping",
+]

@@ -1,0 +1,56 @@
+"""Simulation clock.
+
+A thin wrapper around "current simulation time" with interval bookkeeping:
+the reservation interval is the paper's 5-minute resource-reservation
+period, and most of the pipeline reasons in whole intervals.
+"""
+
+from __future__ import annotations
+
+
+class SimulationClock:
+    """Monotonic simulation time divided into fixed reservation intervals."""
+
+    def __init__(self, interval_s: float = 300.0, start_s: float = 0.0) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if start_s < 0:
+            raise ValueError("start_s must be non-negative")
+        self.interval_s = interval_s
+        self._now_s = float(start_s)
+
+    @property
+    def now_s(self) -> float:
+        return self._now_s
+
+    @property
+    def current_interval(self) -> int:
+        """Index of the interval containing the current time."""
+        return int(self._now_s // self.interval_s)
+
+    def interval_bounds(self, interval_index: int) -> tuple:
+        """``(start_s, end_s)`` of a given interval index."""
+        if interval_index < 0:
+            raise ValueError("interval_index must be non-negative")
+        start = interval_index * self.interval_s
+        return start, start + self.interval_s
+
+    def advance(self, duration_s: float) -> float:
+        """Advance time by ``duration_s`` and return the new time."""
+        if duration_s < 0:
+            raise ValueError("cannot advance by a negative duration")
+        self._now_s += duration_s
+        return self._now_s
+
+    def advance_to(self, time_s: float) -> float:
+        """Jump forward to an absolute time (must not go backwards)."""
+        if time_s < self._now_s:
+            raise ValueError("cannot move the clock backwards")
+        self._now_s = float(time_s)
+        return self._now_s
+
+    def advance_interval(self) -> int:
+        """Advance to the start of the next interval and return its index."""
+        next_index = self.current_interval + 1
+        self._now_s = next_index * self.interval_s
+        return next_index

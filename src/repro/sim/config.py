@@ -1,0 +1,87 @@
+"""Simulation configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.twin.collector import CollectionPolicy
+from repro.video.categories import DEFAULT_CATEGORIES
+
+
+@dataclass
+class SimulationConfig:
+    """End-to-end configuration of the multicast streaming simulation.
+
+    The defaults follow the paper's setup where it is specified: a
+    5-minute resource-reservation interval, users scattered over a
+    campus-sized area and moving along trajectories, and preferences updated
+    from engagement time.  Everything else (user count, catalog size, BS
+    parameters) is sized so a full experiment runs in seconds on a laptop.
+    """
+
+    # Population and content.
+    num_users: int = 30
+    num_videos: int = 120
+    categories: Sequence[str] = DEFAULT_CATEGORIES
+    zipf_exponent: float = 1.0
+    preference_concentration: float = 0.7
+    favourite_category: Optional[str] = "News"
+    favourite_user_fraction: float = 0.6
+    favourite_boost: float = 3.0
+    preference_learning_rate: float = 0.2
+
+    # Time structure.
+    num_intervals: int = 8
+    interval_s: float = 300.0
+
+    # Area, mobility and radio.
+    area_width_m: float = 1000.0
+    area_height_m: float = 800.0
+    num_buildings: int = 18
+    num_base_stations: int = 2
+    tx_power_dbm: float = 43.0
+    rb_bandwidth_hz: float = 180e3
+    num_resource_blocks: int = 100
+    stream_bandwidth_hz: float = 1.8e6  # bandwidth assumed per multicast stream
+    implementation_loss: float = 0.9
+    channel_sample_period_s: float = 5.0
+
+    # Edge server.
+    cache_capacity_gbytes: float = 8.0
+    cycles_per_pixel: float = 12.0
+
+    # Viewing behaviour.
+    swipe_gap_s: float = 0.5
+    recommendation_popularity_weight: float = 0.5
+    popularity_update_rate: float = 0.1
+
+    # Digital twins.
+    collection_policy: CollectionPolicy = field(default_factory=CollectionPolicy)
+    feature_steps: int = 32
+
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_users <= 0 or self.num_videos <= 0:
+            raise ValueError("num_users and num_videos must be positive")
+        if self.num_intervals <= 0 or self.interval_s <= 0:
+            raise ValueError("num_intervals and interval_s must be positive")
+        if self.num_base_stations <= 0:
+            raise ValueError("num_base_stations must be positive")
+        if self.area_width_m <= 0 or self.area_height_m <= 0:
+            raise ValueError("area dimensions must be positive")
+        if not 0.0 <= self.favourite_user_fraction <= 1.0:
+            raise ValueError("favourite_user_fraction must be in [0, 1]")
+        if self.favourite_category is not None and self.favourite_category not in self.categories:
+            raise ValueError("favourite_category must be one of categories")
+        if self.favourite_boost <= 0:
+            raise ValueError("favourite_boost must be positive")
+        if self.stream_bandwidth_hz <= 0 or self.rb_bandwidth_hz <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.channel_sample_period_s <= 0:
+            raise ValueError("channel_sample_period_s must be positive")
+        if not 0.0 <= self.popularity_update_rate <= 1.0:
+            raise ValueError("popularity_update_rate must be in [0, 1]")
+        if self.feature_steps <= 0:
+            raise ValueError("feature_steps must be positive")

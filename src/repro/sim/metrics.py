@@ -1,0 +1,89 @@
+"""Metric recording.
+
+A small utility for accumulating named time series during a simulation run
+(per-interval resource usage, accuracies, cache hit ratios, ...) and
+summarising them.  Benchmarks and examples print their tables from these
+recorders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Summary statistics of one metric series."""
+
+    name: str
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    total: float
+
+    def as_row(self) -> str:
+        """One formatted table row (used by the benchmark harnesses)."""
+        return (
+            f"{self.name:<36s} n={self.count:<5d} mean={self.mean:>12.3f} "
+            f"std={self.std:>10.3f} min={self.minimum:>12.3f} max={self.maximum:>12.3f}"
+        )
+
+
+class MetricRecorder:
+    """Accumulates named scalar series."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, List[float]] = {}
+
+    def record(self, name: str, value: float) -> None:
+        """Append one value to the series ``name`` (created on first use)."""
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        value = float(value)
+        if not np.isfinite(value):
+            raise ValueError(f"metric {name!r} received a non-finite value")
+        self._series.setdefault(name, []).append(value)
+
+    def record_many(self, values: Dict[str, float]) -> None:
+        for name, value in values.items():
+            self.record(name, value)
+
+    def names(self) -> List[str]:
+        return sorted(self._series.keys())
+
+    def series(self, name: str) -> np.ndarray:
+        if name not in self._series:
+            raise KeyError(f"no metric named {name!r}")
+        return np.array(self._series[name])
+
+    def has(self, name: str) -> bool:
+        return name in self._series
+
+    def last(self, name: str) -> float:
+        series = self.series(name)
+        return float(series[-1])
+
+    def summary(self, name: str) -> SeriesSummary:
+        series = self.series(name)
+        return SeriesSummary(
+            name=name,
+            count=int(series.size),
+            mean=float(series.mean()),
+            std=float(series.std()),
+            minimum=float(series.min()),
+            maximum=float(series.max()),
+            total=float(series.sum()),
+        )
+
+    def summaries(self) -> List[SeriesSummary]:
+        return [self.summary(name) for name in self.names()]
+
+    def as_table(self, names: Optional[Sequence[str]] = None) -> str:
+        """Formatted multi-line summary table."""
+        selected = list(names) if names is not None else self.names()
+        return "\n".join(self.summary(name).as_row() for name in selected)

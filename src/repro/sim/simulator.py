@@ -1,0 +1,507 @@
+"""The multicast short-video streaming simulator.
+
+The simulator is interval-driven: callers decide the multicast grouping for
+the next reservation interval (that is exactly what the DT-assisted scheme
+does) and then ask the simulator to play the interval out.  Per interval and
+per group it:
+
+1. samples every member's downlink SNR along their trajectory and applies
+   the worst-member rule to get the group's spectral efficiency and the
+   representation the group can sustain,
+2. plays a *shared* multicast video stream: videos are drawn from a mixture
+   of global popularity and the group's mean preference, every member draws
+   an individual watch duration, and the stream carries each video for as
+   long as the longest-watching member stays (multicast cannot stop earlier),
+3. charges the transmitted bits against the radio model (resource blocks)
+   and the transcoding work against the edge server (CPU cycles), and
+4. pushes each member's status (channel condition, location, watch records,
+   preference) into their digital twin through the status collector.
+
+The recorded :class:`GroupIntervalUsage` values are the ground truth the
+prediction scheme is evaluated against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.behavior.preference import PreferenceModel, PreferenceVector, random_preference
+from repro.behavior.session import ViewingEvent
+from repro.behavior.watching import WatchingDurationModel, WatchRecord
+from repro.edge.server import EdgeServer, EdgeServerConfig
+from repro.mobility.campus import CampusConfig, CampusMap
+from repro.mobility.trajectory import GraphTrajectoryMobility, MobilityModel
+from repro.net.basestation import BaseStation, BaseStationConfig, place_base_stations
+from repro.net.multicast import group_spectral_efficiency, resource_blocks_for_traffic
+from repro.sim.clock import SimulationClock
+from repro.sim.config import SimulationConfig
+from repro.sim.metrics import MetricRecorder
+from repro.twin.collector import StatusCollector
+from repro.twin.manager import DigitalTwinManager
+from repro.twin.attributes import standard_attributes
+from repro.video.catalog import CatalogConfig, Video, VideoCatalog
+from repro.video.representations import Representation
+
+
+@dataclass
+class UserState:
+    """Live state of one simulated user."""
+
+    user_id: int
+    mobility: MobilityModel
+    preference_model: PreferenceModel
+    serving_bs_id: int = 0
+
+    @property
+    def preference(self) -> PreferenceVector:
+        return self.preference_model.preference
+
+
+@dataclass
+class GroupIntervalUsage:
+    """Ground-truth resource usage of one multicast group in one interval."""
+
+    group_id: int
+    member_ids: List[int]
+    traffic_bits: float
+    efficiency_bps_hz: float
+    representation_name: str
+    resource_blocks: float
+    computing_cycles: float
+    videos_played: int
+    engagement_seconds: float
+
+
+@dataclass
+class IntervalResult:
+    """Everything the simulator recorded for one reservation interval."""
+
+    interval_index: int
+    start_s: float
+    end_s: float
+    usage_by_group: Dict[int, GroupIntervalUsage] = field(default_factory=dict)
+    events_by_user: Dict[int, List[ViewingEvent]] = field(default_factory=dict)
+    mean_snr_by_user: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def total_resource_blocks(self) -> float:
+        finite = [
+            usage.resource_blocks
+            for usage in self.usage_by_group.values()
+            if np.isfinite(usage.resource_blocks)
+        ]
+        return float(sum(finite))
+
+    @property
+    def total_computing_cycles(self) -> float:
+        return float(sum(usage.computing_cycles for usage in self.usage_by_group.values()))
+
+    @property
+    def total_traffic_bits(self) -> float:
+        return float(sum(usage.traffic_bits for usage in self.usage_by_group.values()))
+
+
+def singleton_grouping(user_ids: Sequence[int]) -> Dict[int, List[int]]:
+    """The unicast baseline: every user is their own multicast group."""
+    return {index: [user_id] for index, user_id in enumerate(user_ids)}
+
+
+class StreamingSimulator:
+    """Ground-truth simulator of DT-assisted multicast short-video streaming."""
+
+    def __init__(self, config: Optional[SimulationConfig] = None) -> None:
+        self.config = config if config is not None else SimulationConfig()
+        config = self.config
+        self._rng = np.random.default_rng(config.seed)
+
+        # Content.
+        self.catalog = VideoCatalog.generate(
+            CatalogConfig(
+                num_videos=config.num_videos,
+                categories=config.categories,
+                zipf_exponent=config.zipf_exponent,
+                seed=config.seed,
+            )
+        )
+        self.catalog.popularity.engagement_learning_rate = config.popularity_update_rate
+
+        # Area, mobility and radio.
+        self.campus = CampusMap.generate(
+            CampusConfig(
+                width_m=config.area_width_m,
+                height_m=config.area_height_m,
+                num_buildings=config.num_buildings,
+                seed=config.seed,
+            )
+        )
+        self.base_stations = place_base_stations(
+            config.num_base_stations,
+            config.area_width_m,
+            config.area_height_m,
+            BaseStationConfig(
+                tx_power_dbm=config.tx_power_dbm,
+                resource_block_bandwidth_hz=config.rb_bandwidth_hz,
+                num_resource_blocks=config.num_resource_blocks,
+            ),
+        )
+
+        # Users.
+        self.users: Dict[int, UserState] = {}
+        num_favoured = int(round(config.favourite_user_fraction * config.num_users))
+        for user_id in range(config.num_users):
+            favourite = (
+                config.favourite_category
+                if config.favourite_category is not None and user_id < num_favoured
+                else None
+            )
+            preference = random_preference(
+                self._rng,
+                categories=config.categories,
+                concentration=config.preference_concentration,
+                favourite=favourite,
+                favourite_boost=config.favourite_boost,
+            )
+            mobility = GraphTrajectoryMobility(self.campus, seed=config.seed * 1000 + user_id)
+            self.users[user_id] = UserState(
+                user_id=user_id,
+                mobility=mobility,
+                preference_model=PreferenceModel(
+                    preference, learning_rate=config.preference_learning_rate
+                ),
+            )
+        self._associate_users(time_s=0.0)
+
+        # Edge server.
+        self.edge = EdgeServer(
+            self.catalog,
+            EdgeServerConfig(
+                cache_capacity_gbytes=config.cache_capacity_gbytes,
+                cycles_per_pixel=config.cycles_per_pixel,
+            ),
+        )
+        self.edge.warm_cache()
+
+        # Digital twins.
+        self.twins = DigitalTwinManager(
+            attributes=standard_attributes(num_categories=len(config.categories))
+        )
+        self.twins.register_users(self.users.keys())
+        self.collector = StatusCollector(policy=config.collection_policy, seed=config.seed + 7)
+
+        # Behaviour and bookkeeping.
+        self.watching_model = WatchingDurationModel()
+        self.clock = SimulationClock(interval_s=config.interval_s)
+        self.metrics = MetricRecorder()
+        self.history: List[IntervalResult] = []
+
+    # ------------------------------------------------------------ population
+    def user_ids(self) -> List[int]:
+        return sorted(self.users.keys())
+
+    def add_user(
+        self,
+        favourite: Optional[str] = None,
+        user_id: Optional[int] = None,
+    ) -> int:
+        """Add a user mid-simulation (churn) and register their digital twin.
+
+        Returns the new user's id.  The user starts at a random campus node
+        and is associated with a base station at the current simulation time.
+        """
+        config = self.config
+        if user_id is None:
+            user_id = max(self.users.keys(), default=-1) + 1
+        if user_id in self.users:
+            raise ValueError(f"user {user_id} already exists")
+        if favourite is not None and favourite not in config.categories:
+            raise ValueError(f"favourite {favourite!r} not in configured categories")
+        preference = random_preference(
+            self._rng,
+            categories=config.categories,
+            concentration=config.preference_concentration,
+            favourite=favourite,
+            favourite_boost=config.favourite_boost,
+        )
+        mobility = GraphTrajectoryMobility(self.campus, seed=config.seed * 1000 + user_id)
+        self.users[user_id] = UserState(
+            user_id=user_id,
+            mobility=mobility,
+            preference_model=PreferenceModel(
+                preference, learning_rate=config.preference_learning_rate
+            ),
+        )
+        self.twins.register_user(user_id)
+        position = mobility.position(self.clock.now_s)
+        best = max(self.base_stations, key=lambda bs: bs.mean_snr_db(position))
+        self.users[user_id].serving_bs_id = best.bs_id
+        return user_id
+
+    def remove_user(self, user_id: int, keep_twin: bool = True) -> None:
+        """Remove a user (departure).  The twin is kept by default for audit."""
+        if user_id not in self.users:
+            raise KeyError(f"unknown user {user_id}")
+        del self.users[user_id]
+        if not keep_twin:
+            self.twins.remove_user(user_id)
+
+    def _associate_users(self, time_s: float) -> None:
+        """Re-associate every user with their strongest base station."""
+        for user in self.users.values():
+            position = user.mobility.position(time_s)
+            best = max(self.base_stations, key=lambda bs: bs.mean_snr_db(position))
+            user.serving_bs_id = best.bs_id
+
+    def _base_station(self, bs_id: int) -> BaseStation:
+        for bs in self.base_stations:
+            if bs.bs_id == bs_id:
+                return bs
+        raise KeyError(f"unknown base station {bs_id}")
+
+    # ------------------------------------------------------------ radio side
+    def sample_member_snrs(
+        self, member_ids: Sequence[int], start_s: float, end_s: float
+    ) -> Dict[int, np.ndarray]:
+        """Sample each member's SNR trace over ``[start_s, end_s)``."""
+        times = np.arange(start_s, end_s, self.config.channel_sample_period_s)
+        snrs: Dict[int, np.ndarray] = {}
+        for user_id in member_ids:
+            user = self.users[user_id]
+            bs = self._base_station(user.serving_bs_id)
+            samples = []
+            for t in times:
+                position = user.mobility.position(float(t))
+                samples.append(bs.sample_snr_db(position, rng=self._rng))
+            snrs[user_id] = np.array(samples)
+        return snrs
+
+    def group_link_state(
+        self, member_ids: Sequence[int], start_s: float, end_s: float
+    ) -> tuple:
+        """``(efficiency, representation, mean_snr_by_user)`` for a group."""
+        snr_traces = self.sample_member_snrs(member_ids, start_s, end_s)
+        mean_snrs = {uid: float(trace.mean()) for uid, trace in snr_traces.items()}
+        efficiency = group_spectral_efficiency(
+            list(mean_snrs.values()), implementation_loss=self.config.implementation_loss
+        )
+        ladder = self.catalog.get(self.catalog.video_ids()[0]).ladder
+        representation = ladder.best_fitting(efficiency * self.config.stream_bandwidth_hz)
+        return efficiency, representation, mean_snrs
+
+    # -------------------------------------------------------------- content
+    def _group_preference(self, member_ids: Sequence[int]) -> PreferenceVector:
+        """Mean preference of the group's members (ground-truth preferences)."""
+        categories = tuple(self.config.categories)
+        stacks = np.vstack(
+            [self.users[uid].preference.as_array(categories) for uid in member_ids]
+        )
+        mean = stacks.mean(axis=0)
+        return PreferenceVector(dict(zip(categories, mean)), categories=categories)
+
+    def _video_sampling_probabilities(self, group_preference: PreferenceVector) -> np.ndarray:
+        video_ids = self.catalog.video_ids()
+        popularity = self.catalog.popularity.probabilities()
+        pop = np.array([popularity.get(vid, 0.0) for vid in video_ids])
+        pref = np.array(
+            [group_preference.weight(self.catalog.get(vid).category) for vid in video_ids]
+        )
+        if pop.sum() > 0:
+            pop = pop / pop.sum()
+        if pref.sum() > 0:
+            pref = pref / pref.sum()
+        w = self.config.recommendation_popularity_weight
+        mixture = w * pop + (1.0 - w) * pref
+        return mixture / mixture.sum()
+
+    # ------------------------------------------------------------- intervals
+    def run_interval(self, grouping: Mapping[int, Sequence[int]]) -> IntervalResult:
+        """Play out the next reservation interval under ``grouping``.
+
+        ``grouping`` maps group id to the member user ids; every simulated
+        user must belong to exactly one group.
+        """
+        self._validate_grouping(grouping)
+        interval_index = self.clock.current_interval
+        start_s, end_s = self.clock.interval_bounds(interval_index)
+        self._associate_users(start_s)
+
+        result = IntervalResult(interval_index=interval_index, start_s=start_s, end_s=end_s)
+        events_by_user: Dict[int, List[ViewingEvent]] = {uid: [] for uid in self.users}
+        transcode_requests: Dict[int, List[tuple]] = {}
+
+        for group_id, member_ids in grouping.items():
+            member_ids = list(member_ids)
+            efficiency, representation, mean_snrs = self.group_link_state(
+                member_ids, start_s, end_s
+            )
+            result.mean_snr_by_user.update(mean_snrs)
+            usage = self._play_group_stream(
+                group_id,
+                member_ids,
+                representation,
+                efficiency,
+                start_s,
+                end_s,
+                events_by_user,
+                transcode_requests,
+            )
+            result.usage_by_group[group_id] = usage
+
+        # Edge transcoding for all groups of this interval.
+        compute_usage = self.edge.process_interval(interval_index, transcode_requests, time_s=start_s)
+        for group_id, cycles in compute_usage.cycles_by_group.items():
+            result.usage_by_group[group_id].computing_cycles = float(cycles)
+
+        # Digital-twin collection and behavioural updates.
+        self._collect_status(events_by_user, start_s, end_s)
+        self._update_preferences(events_by_user)
+        self._update_popularity(events_by_user)
+
+        result.events_by_user = events_by_user
+        self.history.append(result)
+        self.metrics.record("radio.total_resource_blocks", result.total_resource_blocks)
+        self.metrics.record("compute.total_cycles", result.total_computing_cycles)
+        self.metrics.record("traffic.total_bits", result.total_traffic_bits)
+        self.clock.advance_interval()
+        return result
+
+    def run(
+        self,
+        grouping_fn: Callable[[int, "StreamingSimulator"], Mapping[int, Sequence[int]]],
+        num_intervals: Optional[int] = None,
+    ) -> List[IntervalResult]:
+        """Run several intervals, asking ``grouping_fn`` for each interval's grouping."""
+        count = num_intervals if num_intervals is not None else self.config.num_intervals
+        if count <= 0:
+            raise ValueError("num_intervals must be positive")
+        results = []
+        for _ in range(count):
+            grouping = grouping_fn(self.clock.current_interval, self)
+            results.append(self.run_interval(grouping))
+        return results
+
+    # ------------------------------------------------------------ internals
+    def _validate_grouping(self, grouping: Mapping[int, Sequence[int]]) -> None:
+        if not grouping:
+            raise ValueError("grouping must contain at least one group")
+        seen: set = set()
+        for group_id, member_ids in grouping.items():
+            if not len(member_ids):
+                raise ValueError(f"group {group_id} has no members")
+            for uid in member_ids:
+                if uid not in self.users:
+                    raise ValueError(f"grouping references unknown user {uid}")
+                if uid in seen:
+                    raise ValueError(f"user {uid} appears in more than one group")
+                seen.add(uid)
+        missing = set(self.users) - seen
+        if missing:
+            raise ValueError(f"grouping does not cover users {sorted(missing)}")
+
+    def _play_group_stream(
+        self,
+        group_id: int,
+        member_ids: List[int],
+        representation: Representation,
+        efficiency: float,
+        start_s: float,
+        end_s: float,
+        events_by_user: Dict[int, List[ViewingEvent]],
+        transcode_requests: Dict[int, List[tuple]],
+    ) -> GroupIntervalUsage:
+        """Play the shared multicast stream of one group for one interval."""
+        group_preference = self._group_preference(member_ids)
+        probabilities = self._video_sampling_probabilities(group_preference)
+        video_ids = self.catalog.video_ids()
+
+        now = start_s
+        traffic_bits = 0.0
+        videos_played = 0
+        engagement_seconds = 0.0
+        requests: List[tuple] = []
+        while now < end_s:
+            video = self.catalog.get(int(self._rng.choice(video_ids, p=probabilities)))
+            member_durations: Dict[int, float] = {}
+            for uid in member_ids:
+                duration = self.watching_model.sample_watch_duration(
+                    video, self.users[uid].preference, self._rng
+                )
+                member_durations[uid] = duration
+            transmitted = max(member_durations.values())
+            transmitted = min(transmitted, end_s - now)
+            for uid, duration in member_durations.items():
+                duration = min(duration, end_s - now)
+                record = WatchRecord(
+                    user_id=uid,
+                    video_id=video.video_id,
+                    category=video.category,
+                    watch_duration_s=duration,
+                    video_duration_s=video.duration_s,
+                    swiped=duration < video.duration_s - 1e-9,
+                    timestamp_s=now,
+                )
+                events_by_user[uid].append(ViewingEvent(record=record, start_time_s=now))
+                engagement_seconds += duration
+            traffic_bits += video.bits_watched(representation, transmitted)
+            requests.append((video, representation, transmitted))
+            videos_played += 1
+            now += transmitted + self.config.swipe_gap_s
+
+        transcode_requests[group_id] = requests
+        blocks = resource_blocks_for_traffic(
+            traffic_bits,
+            efficiency,
+            rb_bandwidth_hz=self.config.rb_bandwidth_hz,
+            interval_s=self.config.interval_s,
+        )
+        return GroupIntervalUsage(
+            group_id=group_id,
+            member_ids=member_ids,
+            traffic_bits=traffic_bits,
+            efficiency_bps_hz=efficiency,
+            representation_name=representation.name,
+            resource_blocks=blocks,
+            computing_cycles=0.0,  # filled in after edge processing
+            videos_played=videos_played,
+            engagement_seconds=engagement_seconds,
+        )
+
+    def _collect_status(
+        self,
+        events_by_user: Dict[int, List[ViewingEvent]],
+        start_s: float,
+        end_s: float,
+    ) -> None:
+        for uid, user in self.users.items():
+            self.collector.collect_interval(
+                self.twins.twin(uid),
+                user.mobility,
+                self._base_station(user.serving_bs_id),
+                user.preference,
+                events_by_user.get(uid, []),
+                start_s,
+                end_s,
+                rng=self._rng,
+            )
+
+    def _update_preferences(self, events_by_user: Dict[int, List[ViewingEvent]]) -> None:
+        for uid, events in events_by_user.items():
+            engagement: Dict[str, float] = {}
+            for event in events:
+                engagement[event.record.category] = (
+                    engagement.get(event.record.category, 0.0) + event.record.watch_duration_s
+                )
+            if engagement:
+                self.users[uid].preference_model.update_from_engagement(engagement)
+
+    def _update_popularity(self, events_by_user: Dict[int, List[ViewingEvent]]) -> None:
+        engagement: Dict[int, float] = {}
+        for events in events_by_user.values():
+            for event in events:
+                engagement[event.record.video_id] = (
+                    engagement.get(event.record.video_id, 0.0) + event.record.watch_duration_s
+                )
+        if engagement:
+            self.catalog.popularity.update_from_engagement(engagement)

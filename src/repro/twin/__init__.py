@@ -1,0 +1,56 @@
+"""Digital-twin substrate: user digital twins (UDTs) and their management.
+
+UDTs live on the edge server and store each user's status -- channel
+condition, location, watching duration and preference -- with a different
+collection frequency per attribute.  Everything the prediction scheme knows
+about users it learns from these twins, so the twin layer also controls how
+*stale* that knowledge can get (the DT-staleness ablation).
+
+* :mod:`repro.twin.attributes` -- attribute specifications (name, dimension,
+  collection period).
+* :mod:`repro.twin.timeseries` -- per-attribute time-series stores with
+  window queries and staleness accounting.
+* :mod:`repro.twin.udt` -- :class:`UserDigitalTwin`.
+* :mod:`repro.twin.collector` -- samples live user state into UDTs at each
+  attribute's own frequency, with optional loss and delay.
+* :mod:`repro.twin.manager` -- the edge-side registry of all UDTs plus
+  group-level aggregation helpers.
+"""
+
+from repro.twin.attributes import (
+    AttributeSpec,
+    DEFAULT_ATTRIBUTES,
+    STANDARD_ATTRIBUTE_NAMES,
+    standard_attributes,
+)
+from repro.twin.timeseries import TimeSeriesStore, TimestampedValue
+from repro.twin.udt import UserDigitalTwin
+from repro.twin.collector import CollectionPolicy, StatusCollector
+from repro.twin.manager import DigitalTwinManager
+from repro.twin.persistence import (
+    load_manager,
+    manager_from_dict,
+    manager_to_dict,
+    save_manager,
+    twin_from_dict,
+    twin_to_dict,
+)
+
+__all__ = [
+    "AttributeSpec",
+    "CollectionPolicy",
+    "DEFAULT_ATTRIBUTES",
+    "DigitalTwinManager",
+    "STANDARD_ATTRIBUTE_NAMES",
+    "StatusCollector",
+    "TimeSeriesStore",
+    "TimestampedValue",
+    "UserDigitalTwin",
+    "load_manager",
+    "manager_from_dict",
+    "manager_to_dict",
+    "save_manager",
+    "standard_attributes",
+    "twin_from_dict",
+    "twin_to_dict",
+]

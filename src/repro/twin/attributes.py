@@ -1,0 +1,95 @@
+"""User-status attribute specifications.
+
+The paper lists four attributes collected into the UDTs -- channel
+condition, location, watching duration and preference -- and notes that
+"different data attributes are collected with different frequencies".  An
+:class:`AttributeSpec` captures an attribute's name, dimensionality and
+collection period; the standard set below fixes sensible periods (channel
+state changes fastest, preferences slowest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Specification of one UDT attribute."""
+
+    name: str
+    dimension: int
+    collection_period_s: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("attribute name must be non-empty")
+        if self.dimension <= 0:
+            raise ValueError("dimension must be positive")
+        if self.collection_period_s <= 0:
+            raise ValueError("collection_period_s must be positive")
+
+    def samples_per_interval(self, interval_s: float) -> int:
+        """How many samples one reservation interval yields for this attribute."""
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        return max(int(interval_s // self.collection_period_s), 1)
+
+
+#: Canonical attribute names used across the code base.
+CHANNEL_CONDITION = "channel_condition"
+LOCATION = "location"
+WATCHING_DURATION = "watching_duration"
+PREFERENCE = "preference"
+
+STANDARD_ATTRIBUTE_NAMES: Tuple[str, ...] = (
+    CHANNEL_CONDITION,
+    LOCATION,
+    WATCHING_DURATION,
+    PREFERENCE,
+)
+
+
+def standard_attributes(
+    num_categories: int = 8,
+    channel_period_s: float = 1.0,
+    location_period_s: float = 5.0,
+    watching_period_s: float = 15.0,
+    preference_period_s: float = 60.0,
+) -> Dict[str, AttributeSpec]:
+    """The four standard UDT attributes with configurable collection periods."""
+    if num_categories <= 0:
+        raise ValueError("num_categories must be positive")
+    specs = (
+        AttributeSpec(
+            CHANNEL_CONDITION,
+            dimension=1,
+            collection_period_s=channel_period_s,
+            description="downlink SNR in dB",
+        ),
+        AttributeSpec(
+            LOCATION,
+            dimension=2,
+            collection_period_s=location_period_s,
+            description="2-D position in metres",
+        ),
+        AttributeSpec(
+            WATCHING_DURATION,
+            dimension=1,
+            collection_period_s=watching_period_s,
+            description="seconds watched of the most recent video",
+        ),
+        AttributeSpec(
+            PREFERENCE,
+            dimension=num_categories,
+            collection_period_s=preference_period_s,
+            description="preference distribution over video categories",
+        ),
+    )
+    return {spec.name: spec for spec in specs}
+
+
+#: Default attribute set with the default periods and 8 video categories.
+DEFAULT_ATTRIBUTES: Dict[str, AttributeSpec] = standard_attributes()

@@ -1,0 +1,136 @@
+"""Status collection from live users into their digital twins.
+
+Base stations collect user status and push it to the UDTs on the edge
+server, each attribute at its own frequency.  The collector models that
+process against simulation entities:
+
+* channel condition and location are sampled at their attribute periods
+  from the user's mobility model and serving base station,
+* watch records are pushed as sessions produce them, and
+* preference snapshots are written once per collection period.
+
+The :class:`CollectionPolicy` adds the imperfections the DT-staleness
+ablation varies: a collection-period multiplier (slower twins), a sample
+drop probability (lossy uplink) and a reporting delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.behavior.preference import PreferenceVector
+from repro.behavior.session import ViewingEvent
+from repro.mobility.trajectory import MobilityModel
+from repro.net.basestation import BaseStation
+from repro.twin.attributes import CHANNEL_CONDITION, LOCATION, PREFERENCE
+from repro.twin.udt import UserDigitalTwin
+
+
+@dataclass
+class CollectionPolicy:
+    """Imperfections applied while collecting user status.
+
+    ``period_multiplier`` scales every attribute's collection period (2.0
+    means twice as stale), ``drop_probability`` silently discards samples,
+    and ``delay_s`` shifts the recorded timestamps backwards (the twin only
+    learns about a sample that much later).
+    """
+
+    period_multiplier: float = 1.0
+    drop_probability: float = 0.0
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period_multiplier <= 0:
+            raise ValueError("period_multiplier must be positive")
+        if not 0.0 <= self.drop_probability < 1.0:
+            raise ValueError("drop_probability must be in [0, 1)")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
+
+    @classmethod
+    def perfect(cls) -> "CollectionPolicy":
+        return cls()
+
+
+class StatusCollector:
+    """Collects user status into UDTs over a reservation interval."""
+
+    def __init__(
+        self,
+        policy: Optional[CollectionPolicy] = None,
+        seed: int = 0,
+    ) -> None:
+        self.policy = policy if policy is not None else CollectionPolicy.perfect()
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------ sampling
+    def _keep_sample(self) -> bool:
+        if self.policy.drop_probability == 0.0:
+            return True
+        return self._rng.random() >= self.policy.drop_probability
+
+    def _sample_times(self, start_s: float, end_s: float, period_s: float) -> np.ndarray:
+        effective_period = period_s * self.policy.period_multiplier
+        if effective_period >= end_s - start_s:
+            return np.array([start_s])
+        return np.arange(start_s, end_s, effective_period)
+
+    def collect_interval(
+        self,
+        udt: UserDigitalTwin,
+        mobility: MobilityModel,
+        base_station: BaseStation,
+        preference: PreferenceVector,
+        events: Sequence[ViewingEvent],
+        start_s: float,
+        end_s: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        """Collect one reservation interval's worth of status for one user."""
+        if end_s <= start_s:
+            raise ValueError("end_s must be greater than start_s")
+        rng = rng if rng is not None else self._rng
+        delay = self.policy.delay_s
+
+        # Channel condition: sample SNR at the attribute's own frequency.
+        if CHANNEL_CONDITION in udt.attributes:
+            spec = udt.attributes[CHANNEL_CONDITION]
+            for t in self._sample_times(start_s, end_s, spec.collection_period_s):
+                if not self._keep_sample():
+                    continue
+                position = mobility.position(float(t))
+                snr_db = base_station.sample_snr_db(position, rng=rng)
+                udt.record(CHANNEL_CONDITION, float(t) + delay, [snr_db])
+
+        # Location.
+        if LOCATION in udt.attributes:
+            spec = udt.attributes[LOCATION]
+            for t in self._sample_times(start_s, end_s, spec.collection_period_s):
+                if not self._keep_sample():
+                    continue
+                udt.record(LOCATION, float(t) + delay, mobility.position(float(t)))
+
+        # Watch records (and the mirrored watching-duration series).
+        for event in events:
+            if not self._keep_sample():
+                continue
+            udt.record_watch(event.record)
+
+        # Preference snapshots.
+        if PREFERENCE in udt.attributes:
+            spec = udt.attributes[PREFERENCE]
+            vector = preference.as_array()
+            expected_dim = udt.attributes[PREFERENCE].dimension
+            if vector.shape[0] != expected_dim:
+                raise ValueError(
+                    f"preference dimension {vector.shape[0]} does not match the UDT "
+                    f"attribute dimension {expected_dim}"
+                )
+            for t in self._sample_times(start_s, end_s, spec.collection_period_s):
+                if not self._keep_sample():
+                    continue
+                udt.record(PREFERENCE, float(t) + delay, vector)

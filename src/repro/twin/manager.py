@@ -1,0 +1,136 @@
+"""Digital-twin manager: the edge-side registry of all user digital twins.
+
+The manager owns one :class:`~repro.twin.udt.UserDigitalTwin` per user and
+provides the population-level views the prediction pipeline consumes: the
+stacked feature tensor over all users for a reservation interval, group-level
+watch-record collections, and staleness reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.behavior.watching import WatchRecord
+from repro.twin.attributes import AttributeSpec, DEFAULT_ATTRIBUTES
+from repro.twin.udt import UserDigitalTwin
+
+
+class DigitalTwinManager:
+    """Registry and aggregator of user digital twins."""
+
+    def __init__(
+        self,
+        attributes: Optional[Mapping[str, AttributeSpec]] = None,
+        max_samples_per_attribute: Optional[int] = None,
+    ) -> None:
+        self.attributes: Dict[str, AttributeSpec] = dict(
+            attributes if attributes is not None else DEFAULT_ATTRIBUTES
+        )
+        self.max_samples_per_attribute = max_samples_per_attribute
+        self._twins: Dict[int, UserDigitalTwin] = {}
+
+    # ------------------------------------------------------------ registry
+    def __len__(self) -> int:
+        return len(self._twins)
+
+    def __contains__(self, user_id: int) -> bool:
+        return user_id in self._twins
+
+    def user_ids(self) -> List[int]:
+        return sorted(self._twins.keys())
+
+    def register_user(self, user_id: int) -> UserDigitalTwin:
+        """Create (or return the existing) twin for ``user_id``."""
+        if user_id not in self._twins:
+            self._twins[user_id] = UserDigitalTwin(
+                user_id,
+                attributes=self.attributes,
+                max_samples_per_attribute=self.max_samples_per_attribute,
+            )
+        return self._twins[user_id]
+
+    def register_users(self, user_ids: Iterable[int]) -> List[UserDigitalTwin]:
+        return [self.register_user(uid) for uid in user_ids]
+
+    def twin(self, user_id: int) -> UserDigitalTwin:
+        if user_id not in self._twins:
+            raise KeyError(f"no digital twin registered for user {user_id}")
+        return self._twins[user_id]
+
+    def remove_user(self, user_id: int) -> None:
+        self._twins.pop(user_id, None)
+
+    # --------------------------------------------------------- aggregation
+    def feature_tensor(
+        self,
+        start_s: float,
+        end_s: float,
+        num_steps: int = 32,
+        attribute_order: Optional[Sequence[str]] = None,
+        user_ids: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Stacked per-user feature matrices, shape ``(users, num_steps, channels)``.
+
+        Users are ordered by ``user_ids`` (default: sorted registry order),
+        which is also the row order of everything derived downstream
+        (compressed features, cluster labels, multicast groups).
+        """
+        ids = list(user_ids) if user_ids is not None else self.user_ids()
+        if not ids:
+            raise ValueError("no users registered")
+        matrices = [
+            self.twin(uid).feature_matrix(start_s, end_s, num_steps, attribute_order)
+            for uid in ids
+        ]
+        return np.stack(matrices, axis=0)
+
+    def watch_records(
+        self,
+        user_ids: Optional[Sequence[int]] = None,
+        start_s: Optional[float] = None,
+        end_s: Optional[float] = None,
+    ) -> List[WatchRecord]:
+        """All watch records of the given users over a window."""
+        ids = list(user_ids) if user_ids is not None else self.user_ids()
+        records: List[WatchRecord] = []
+        for uid in ids:
+            records.extend(self.twin(uid).watch_records(start_s, end_s))
+        return records
+
+    def engagement_by_video(
+        self,
+        user_ids: Optional[Sequence[int]] = None,
+        start_s: Optional[float] = None,
+        end_s: Optional[float] = None,
+    ) -> Dict[int, float]:
+        """Total engagement time per video id (drives popularity updates)."""
+        totals: Dict[int, float] = {}
+        for record in self.watch_records(user_ids, start_s, end_s):
+            totals[record.video_id] = totals.get(record.video_id, 0.0) + record.watch_duration_s
+        return totals
+
+    def mean_preferences(
+        self,
+        user_ids: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Mean of the latest preference snapshots across users."""
+        from repro.twin.attributes import PREFERENCE
+
+        ids = list(user_ids) if user_ids is not None else self.user_ids()
+        if not ids:
+            raise ValueError("no users registered")
+        vectors = [self.twin(uid).store(PREFERENCE).latest_value() for uid in ids]
+        return np.mean(np.vstack(vectors), axis=0)
+
+    # ------------------------------------------------------------ staleness
+    def staleness_report(self, now_s: float) -> Dict[int, float]:
+        """Worst-attribute staleness per user."""
+        return {uid: twin.max_staleness_s(now_s) for uid, twin in self._twins.items()}
+
+    def stale_users(self, now_s: float, threshold_s: float) -> List[int]:
+        """Users whose twins are older than ``threshold_s`` on any attribute."""
+        if threshold_s < 0:
+            raise ValueError("threshold_s must be non-negative")
+        return [uid for uid, age in self.staleness_report(now_s).items() if age > threshold_s]

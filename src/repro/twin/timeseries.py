@@ -1,0 +1,136 @@
+"""Time-series store for UDT attributes.
+
+Each attribute of a user digital twin is an append-only sequence of
+timestamped vectors.  The store supports window queries (everything
+collected during a reservation interval), resampling onto a fixed grid (what
+the 1D-CNN compressor consumes) and staleness queries (how old is the newest
+sample), all of which the prediction pipeline relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TimestampedValue:
+    """One sample of an attribute."""
+
+    timestamp_s: float
+    value: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value", np.atleast_1d(np.asarray(self.value, dtype=np.float64)))
+
+
+class TimeSeriesStore:
+    """Append-only store of timestamped vectors of a fixed dimension."""
+
+    def __init__(self, dimension: int, max_samples: Optional[int] = None) -> None:
+        if dimension <= 0:
+            raise ValueError("dimension must be positive")
+        if max_samples is not None and max_samples <= 0:
+            raise ValueError("max_samples must be positive when given")
+        self.dimension = dimension
+        self.max_samples = max_samples
+        self._samples: List[TimestampedValue] = []
+
+    # ------------------------------------------------------------ mutation
+    def append(self, timestamp_s: float, value) -> TimestampedValue:
+        """Append a sample; timestamps must be non-decreasing."""
+        value = np.atleast_1d(np.asarray(value, dtype=np.float64))
+        if value.shape != (self.dimension,):
+            raise ValueError(
+                f"expected a value of dimension {self.dimension}, got shape {value.shape}"
+            )
+        if self._samples and timestamp_s < self._samples[-1].timestamp_s:
+            raise ValueError("timestamps must be non-decreasing")
+        sample = TimestampedValue(timestamp_s=float(timestamp_s), value=value)
+        self._samples.append(sample)
+        if self.max_samples is not None and len(self._samples) > self.max_samples:
+            del self._samples[: len(self._samples) - self.max_samples]
+        return sample
+
+    def clear(self) -> None:
+        self._samples.clear()
+
+    # ------------------------------------------------------------ accessors
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._samples
+
+    def latest(self) -> TimestampedValue:
+        if not self._samples:
+            raise ValueError("store is empty")
+        return self._samples[-1]
+
+    def latest_value(self, default: Optional[np.ndarray] = None) -> np.ndarray:
+        """Newest value, or ``default`` / zeros when the store is empty."""
+        if self._samples:
+            return self._samples[-1].value.copy()
+        if default is not None:
+            return np.atleast_1d(np.asarray(default, dtype=np.float64))
+        return np.zeros(self.dimension)
+
+    def staleness_s(self, now_s: float) -> float:
+        """Age of the newest sample; ``inf`` when no sample exists."""
+        if not self._samples:
+            return float("inf")
+        return float(now_s - self._samples[-1].timestamp_s)
+
+    def timestamps(self) -> np.ndarray:
+        return np.array([sample.timestamp_s for sample in self._samples])
+
+    def values(self) -> np.ndarray:
+        """All values stacked into shape ``(num_samples, dimension)``."""
+        if not self._samples:
+            return np.zeros((0, self.dimension))
+        return np.vstack([sample.value for sample in self._samples])
+
+    # --------------------------------------------------------------- queries
+    def window(self, start_s: float, end_s: float) -> List[TimestampedValue]:
+        """All samples with ``start_s <= timestamp < end_s``."""
+        if end_s < start_s:
+            raise ValueError("end_s must be >= start_s")
+        return [s for s in self._samples if start_s <= s.timestamp_s < end_s]
+
+    def window_values(self, start_s: float, end_s: float) -> np.ndarray:
+        samples = self.window(start_s, end_s)
+        if not samples:
+            return np.zeros((0, self.dimension))
+        return np.vstack([sample.value for sample in samples])
+
+    def resample(self, times_s: Sequence[float]) -> np.ndarray:
+        """Zero-order-hold resampling onto ``times_s`` (shape ``(len, dimension)``).
+
+        Times before the first sample receive the first sample's value; an
+        empty store resamples to zeros.
+        """
+        times = np.asarray(times_s, dtype=np.float64)
+        if times.ndim != 1:
+            raise ValueError("times_s must be one-dimensional")
+        if not self._samples:
+            return np.zeros((times.shape[0], self.dimension))
+        sample_times = self.timestamps()
+        values = self.values()
+        indices = np.searchsorted(sample_times, times, side="right") - 1
+        indices = np.clip(indices, 0, len(self._samples) - 1)
+        return values[indices]
+
+    def mean(self, start_s: Optional[float] = None, end_s: Optional[float] = None) -> np.ndarray:
+        """Mean value over a window (whole history by default)."""
+        if start_s is None and end_s is None:
+            values = self.values()
+        else:
+            start = start_s if start_s is not None else -np.inf
+            end = end_s if end_s is not None else np.inf
+            values = self.window_values(start, end)
+        if values.shape[0] == 0:
+            return np.zeros(self.dimension)
+        return values.mean(axis=0)

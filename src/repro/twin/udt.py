@@ -1,0 +1,146 @@
+"""User digital twin.
+
+A :class:`UserDigitalTwin` bundles one time-series store per attribute for a
+single user.  Besides raw collection, it exposes the two views the
+prediction scheme needs:
+
+* :meth:`feature_matrix` -- the attribute time series resampled onto a
+  common grid and stacked into a ``(time, channels)`` matrix, the direct
+  input of the 1D-CNN compressor, and
+* :meth:`watch_records` -- the watch records collected during a window,
+  which feed the swiping-probability abstraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.behavior.watching import WatchRecord
+from repro.twin.attributes import (
+    AttributeSpec,
+    CHANNEL_CONDITION,
+    DEFAULT_ATTRIBUTES,
+    LOCATION,
+    PREFERENCE,
+    WATCHING_DURATION,
+)
+from repro.twin.timeseries import TimeSeriesStore
+
+
+class UserDigitalTwin:
+    """Edge-side digital twin of one user."""
+
+    def __init__(
+        self,
+        user_id: int,
+        attributes: Optional[Mapping[str, AttributeSpec]] = None,
+        max_samples_per_attribute: Optional[int] = None,
+    ) -> None:
+        if user_id < 0:
+            raise ValueError("user_id must be non-negative")
+        self.user_id = user_id
+        self.attributes: Dict[str, AttributeSpec] = dict(
+            attributes if attributes is not None else DEFAULT_ATTRIBUTES
+        )
+        if not self.attributes:
+            raise ValueError("a UDT needs at least one attribute")
+        self._stores: Dict[str, TimeSeriesStore] = {
+            name: TimeSeriesStore(spec.dimension, max_samples=max_samples_per_attribute)
+            for name, spec in self.attributes.items()
+        }
+        self._watch_records: List[WatchRecord] = []
+
+    # ------------------------------------------------------------ collection
+    def store(self, attribute: str) -> TimeSeriesStore:
+        if attribute not in self._stores:
+            raise KeyError(f"UDT of user {self.user_id} has no attribute {attribute!r}")
+        return self._stores[attribute]
+
+    def record(self, attribute: str, timestamp_s: float, value) -> None:
+        """Append one sample of ``attribute``."""
+        self.store(attribute).append(timestamp_s, value)
+
+    def record_watch(self, record: WatchRecord) -> None:
+        """Store a watch record and mirror its duration into the time series."""
+        if record.user_id != self.user_id:
+            raise ValueError(
+                f"watch record of user {record.user_id} pushed to UDT of user {self.user_id}"
+            )
+        self._watch_records.append(record)
+        if WATCHING_DURATION in self._stores:
+            store = self._stores[WATCHING_DURATION]
+            timestamp = record.timestamp_s
+            if len(store) and timestamp < store.latest().timestamp_s:
+                timestamp = store.latest().timestamp_s
+            store.append(timestamp, [record.watch_duration_s])
+
+    # -------------------------------------------------------------- queries
+    def staleness_s(self, attribute: str, now_s: float) -> float:
+        return self.store(attribute).staleness_s(now_s)
+
+    def max_staleness_s(self, now_s: float) -> float:
+        """Worst staleness across attributes (``inf`` if any attribute is empty)."""
+        return max(self.store(name).staleness_s(now_s) for name in self.attributes)
+
+    def latest_status(self) -> Dict[str, np.ndarray]:
+        """Newest value of every attribute (zeros for never-collected ones)."""
+        return {name: self.store(name).latest_value() for name in self.attributes}
+
+    def watch_records(
+        self,
+        start_s: Optional[float] = None,
+        end_s: Optional[float] = None,
+    ) -> List[WatchRecord]:
+        """Watch records whose timestamps fall in ``[start_s, end_s)``."""
+        records = self._watch_records
+        if start_s is not None:
+            records = [r for r in records if r.timestamp_s >= start_s]
+        if end_s is not None:
+            records = [r for r in records if r.timestamp_s < end_s]
+        return list(records)
+
+    def engagement_seconds(
+        self,
+        start_s: Optional[float] = None,
+        end_s: Optional[float] = None,
+    ) -> Dict[str, float]:
+        """Total watch time per category over a window."""
+        totals: Dict[str, float] = {}
+        for record in self.watch_records(start_s, end_s):
+            totals[record.category] = totals.get(record.category, 0.0) + record.watch_duration_s
+        return totals
+
+    # ------------------------------------------------------------- features
+    def feature_matrix(
+        self,
+        start_s: float,
+        end_s: float,
+        num_steps: int = 32,
+        attribute_order: Optional[Sequence[str]] = None,
+    ) -> np.ndarray:
+        """Resample all attributes onto a common grid and stack channels.
+
+        The result has shape ``(num_steps, total_dimension)`` where
+        ``total_dimension`` is the sum of attribute dimensions in
+        ``attribute_order`` (default: insertion order).  This is the raw
+        per-user input to the 1D-CNN compressor.
+        """
+        if end_s <= start_s:
+            raise ValueError("end_s must be greater than start_s")
+        if num_steps <= 0:
+            raise ValueError("num_steps must be positive")
+        order = list(attribute_order) if attribute_order is not None else list(self.attributes)
+        times = np.linspace(start_s, end_s, num_steps, endpoint=False)
+        channels = [self.store(name).resample(times) for name in order]
+        return np.concatenate(channels, axis=1)
+
+    def feature_dimension(self, attribute_order: Optional[Sequence[str]] = None) -> int:
+        order = list(attribute_order) if attribute_order is not None else list(self.attributes)
+        return int(sum(self.attributes[name].dimension for name in order))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        counts = {name: len(store) for name, store in self._stores.items()}
+        return f"UserDigitalTwin(user_id={self.user_id}, samples={counts})"

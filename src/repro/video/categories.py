@@ -1,0 +1,53 @@
+"""Video-category taxonomy.
+
+The paper reports per-category cumulative swiping probabilities for a
+multicast group whose users "watch News videos most while Game videos
+least" (Fig. 3a).  We therefore model categories explicitly; the default
+taxonomy below covers the categories a short-video platform typically
+exposes, with *News* first and *Game* last so the headline ordering is easy
+to reproduce and check.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+
+class VideoCategory:
+    """Namespace of the canonical category names."""
+
+    NEWS = "News"
+    SPORTS = "Sports"
+    MUSIC = "Music"
+    COMEDY = "Comedy"
+    EDUCATION = "Education"
+    TRAVEL = "Travel"
+    FOOD = "Food"
+    GAME = "Game"
+
+
+#: Default category taxonomy used by the catalog, behaviour models and the
+#: Fig. 3(a) reproduction.
+DEFAULT_CATEGORIES: Tuple[str, ...] = (
+    VideoCategory.NEWS,
+    VideoCategory.SPORTS,
+    VideoCategory.MUSIC,
+    VideoCategory.COMEDY,
+    VideoCategory.EDUCATION,
+    VideoCategory.TRAVEL,
+    VideoCategory.FOOD,
+    VideoCategory.GAME,
+)
+
+
+def validate_category(category: str, categories: Sequence[str] = DEFAULT_CATEGORIES) -> str:
+    """Return ``category`` if it belongs to ``categories``; raise otherwise."""
+    if category not in categories:
+        raise ValueError(f"unknown video category {category!r}; expected one of {list(categories)}")
+    return category
+
+
+def category_index(category: str, categories: Sequence[str] = DEFAULT_CATEGORIES) -> int:
+    """Index of ``category`` within ``categories`` (raises on unknown category)."""
+    validate_category(category, categories)
+    return list(categories).index(category)

@@ -1,0 +1,124 @@
+"""Video representations (bitrate ladder).
+
+Short videos are stored at the edge server at their *highest* representation
+and transcoded to lower representations to match each multicast group's
+achievable rate.  A representation bundles resolution, frame rate and a
+nominal bitrate; the ladder orders representations from highest to lowest
+quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+
+@dataclass(frozen=True, order=True)
+class Representation:
+    """A single encoding of a video.
+
+    The ordering is by ``bitrate_kbps`` so representations sort naturally
+    from lowest to highest quality.
+    """
+
+    bitrate_kbps: float
+    name: str = ""
+    width: int = 0
+    height: int = 0
+    fps: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.bitrate_kbps <= 0:
+            raise ValueError("bitrate_kbps must be positive")
+        if self.fps <= 0:
+            raise ValueError("fps must be positive")
+
+    @property
+    def pixels_per_frame(self) -> int:
+        return self.width * self.height
+
+    @property
+    def pixel_rate(self) -> float:
+        """Pixels processed per second (drives transcoding cost)."""
+        return self.pixels_per_frame * self.fps
+
+    def bits_for_duration(self, duration_s: float) -> float:
+        """Nominal number of bits needed to stream ``duration_s`` seconds."""
+        if duration_s < 0:
+            raise ValueError("duration_s must be non-negative")
+        return self.bitrate_kbps * 1e3 * duration_s
+
+
+#: Default five-rung ladder (names follow common ABR practice).
+DEFAULT_LADDER_SPECS = (
+    ("240p", 426, 240, 400.0),
+    ("360p", 640, 360, 800.0),
+    ("480p", 854, 480, 1400.0),
+    ("720p", 1280, 720, 2800.0),
+    ("1080p", 1920, 1080, 5000.0),
+)
+
+
+class RepresentationLadder:
+    """Ordered collection of representations (lowest to highest quality)."""
+
+    def __init__(self, representations: Sequence[Representation]) -> None:
+        if not representations:
+            raise ValueError("a ladder needs at least one representation")
+        self._reps: List[Representation] = sorted(representations)
+
+    def __len__(self) -> int:
+        return len(self._reps)
+
+    def __iter__(self) -> Iterator[Representation]:
+        return iter(self._reps)
+
+    def __getitem__(self, index: int) -> Representation:
+        return self._reps[index]
+
+    @property
+    def lowest(self) -> Representation:
+        return self._reps[0]
+
+    @property
+    def highest(self) -> Representation:
+        return self._reps[-1]
+
+    def names(self) -> List[str]:
+        return [rep.name for rep in self._reps]
+
+    def by_name(self, name: str) -> Representation:
+        for rep in self._reps:
+            if rep.name == name:
+                return rep
+        raise KeyError(f"no representation named {name!r}")
+
+    def best_fitting(self, available_rate_bps: float) -> Representation:
+        """Highest representation whose nominal bitrate fits ``available_rate_bps``.
+
+        Falls back to the lowest representation when even that one does not
+        fit (the stream is then simply throttled).
+        """
+        if available_rate_bps < 0:
+            raise ValueError("available_rate_bps must be non-negative")
+        fitting = [rep for rep in self._reps if rep.bitrate_kbps * 1e3 <= available_rate_bps]
+        if not fitting:
+            return self.lowest
+        return fitting[-1]
+
+    def lower_than(self, representation: Representation) -> List[Representation]:
+        """All representations strictly below ``representation``."""
+        return [rep for rep in self._reps if rep.bitrate_kbps < representation.bitrate_kbps]
+
+    @classmethod
+    def default(cls) -> "RepresentationLadder":
+        """The standard 240p..1080p ladder used across the reproduction."""
+        reps = [
+            Representation(bitrate_kbps=kbps, name=name, width=w, height=h)
+            for name, w, h, kbps in DEFAULT_LADDER_SPECS
+        ]
+        return cls(reps)
+
+
+#: Module-level singleton of the default ladder (immutable representations).
+DEFAULT_LADDER = RepresentationLadder.default()

@@ -1,0 +1,109 @@
+"""Tests for the analysis runners, table formatting, CLI and simulator churn."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table, run_fig3_experiment
+from repro.cli import build_parser, main
+from repro.sim import SimulationConfig, StreamingSimulator, singleton_grouping
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        table = format_table(["name", "value"], [["alpha", 1.0], ["b", 22.5]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert "1.000" in table and "22.500" in table
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1.0]])
+
+    def test_empty_rows_produce_header_only(self):
+        table = format_table(["a", "b"], [])
+        assert len(table.splitlines()) == 2
+
+
+class TestAnalysisRunners:
+    def test_fig3_runner_produces_both_panels(self):
+        result = run_fig3_experiment(seed=4, num_users=10, num_eval_intervals=2, interval_s=80.0)
+        cumulative = list(result.cumulative_swiping().values())
+        assert cumulative[-1] == pytest.approx(1.0)
+        rows = result.demand_rows()
+        assert len(rows) == 2
+        assert all(len(row) == 5 for row in rows)
+        assert 0.0 <= result.mean_radio_accuracy <= 1.0
+        assert result.max_radio_accuracy >= result.mean_radio_accuracy
+
+
+class TestCli:
+    def test_parser_knows_all_subcommands(self):
+        parser = build_parser()
+        for command in ("fig3", "grouping-ablation", "staleness-ablation", "predictors", "dataset"):
+            args = parser.parse_args([command] if command != "dataset" else [command, "--output", "x.json"])
+            assert args.command == command
+
+    def test_missing_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_dataset_subcommand_writes_file(self, tmp_path, capsys):
+        output = tmp_path / "bundle.json"
+        code = main(
+            ["dataset", "--output", str(output), "--users", "3", "--videos", "8", "--intervals", "1"]
+        )
+        assert code == 0
+        assert output.exists()
+        assert "swipe traces" in capsys.readouterr().out
+
+    def test_fig3_subcommand_prints_tables(self, capsys):
+        code = main(
+            ["fig3", "--users", "8", "--intervals", "2", "--interval-seconds", "60", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3(a)" in out
+        assert "Fig. 3(b)" in out
+        assert "mean radio accuracy" in out
+
+
+class TestSimulatorChurn:
+    def test_add_user_registers_twin_and_joins_next_interval(self, tiny_simulator):
+        before = set(tiny_simulator.user_ids())
+        new_id = tiny_simulator.add_user(favourite="News")
+        assert new_id not in before
+        assert new_id in tiny_simulator.twins
+        grouping = singleton_grouping(tiny_simulator.user_ids())
+        result = tiny_simulator.run_interval(grouping)
+        assert any(new_id in usage.member_ids for usage in result.usage_by_group.values())
+        assert tiny_simulator.twins.twin(new_id).watch_records()
+
+    def test_add_existing_user_rejected(self, tiny_simulator):
+        existing = tiny_simulator.user_ids()[0]
+        with pytest.raises(ValueError):
+            tiny_simulator.add_user(user_id=existing)
+
+    def test_add_user_unknown_favourite_rejected(self, tiny_simulator):
+        with pytest.raises(ValueError):
+            tiny_simulator.add_user(favourite="Opera")
+
+    def test_remove_user_keeps_twin_by_default(self, tiny_simulator):
+        victim = tiny_simulator.user_ids()[0]
+        tiny_simulator.remove_user(victim)
+        assert victim not in tiny_simulator.users
+        assert victim in tiny_simulator.twins
+        grouping = singleton_grouping(tiny_simulator.user_ids())
+        tiny_simulator.run_interval(grouping)  # still runs without the departed user
+
+    def test_remove_user_can_drop_twin(self, tiny_simulator):
+        victim = tiny_simulator.user_ids()[0]
+        tiny_simulator.remove_user(victim, keep_twin=False)
+        assert victim not in tiny_simulator.twins
+
+    def test_remove_unknown_user_rejected(self, tiny_simulator):
+        with pytest.raises(KeyError):
+            tiny_simulator.remove_user(12345)

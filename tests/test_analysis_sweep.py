@@ -1,0 +1,75 @@
+"""Tests for parameter sweeps and evaluation-result export."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import SweepResult, sweep_population_sizes, sweep_scenarios
+from repro.core import DTResourcePredictionScheme, SchemeConfig
+from repro.sim import SimulationConfig, StreamingSimulator
+
+
+class TestSweeps:
+    def test_sweep_scenarios_produces_one_point_per_label(self):
+        result = sweep_scenarios(
+            {
+                "small": {"num_users": 6, "num_videos": 20, "interval_s": 60.0},
+                "short interval": {"num_users": 6, "num_videos": 20, "interval_s": 45.0},
+            },
+            scheme_overrides={"small": {"cnn_epochs": 2}},
+            num_eval_intervals=1,
+        )
+        assert len(result) == 2
+        labels = [point.label for point in result.points]
+        assert labels == ["small", "short interval"]
+        for point in result.points:
+            assert 0.0 <= point.mean_radio_accuracy <= 1.0
+            assert point.mean_actual_blocks > 0.0
+        assert result.best().mean_radio_accuracy == max(
+            point.mean_radio_accuracy for point in result.points
+        )
+
+    def test_sweep_population_sizes(self):
+        result = sweep_population_sizes([5, 8], num_eval_intervals=1)
+        assert [point.label for point in result.points] == ["5 users", "8 users"]
+        rows = result.as_rows()
+        assert len(rows) == 2 and len(rows[0]) == 5
+
+    def test_invalid_sweep_arguments(self):
+        with pytest.raises(ValueError):
+            sweep_scenarios({})
+        with pytest.raises(ValueError):
+            sweep_population_sizes([])
+        with pytest.raises(ValueError):
+            SweepResult().best()
+
+
+class TestEvaluationExport:
+    def test_to_dict_is_json_serialisable_and_consistent(self, tmp_path):
+        scheme = DTResourcePredictionScheme(
+            StreamingSimulator(
+                SimulationConfig(
+                    num_users=6, num_videos=20, num_intervals=3, interval_s=60.0, seed=2
+                )
+            ),
+            SchemeConfig(
+                warmup_intervals=1, cnn_epochs=2, ddqn_episodes=2, mc_rollouts=4, max_groups=3
+            ),
+        )
+        result = scheme.run(num_intervals=2)
+        exported = result.to_dict()
+        # Round-trips through JSON without loss of structure.
+        path = tmp_path / "result.json"
+        path.write_text(json.dumps(exported))
+        loaded = json.loads(path.read_text())
+        assert len(loaded["intervals"]) == 2
+        assert loaded["summary"]["mean_radio_accuracy"] == pytest.approx(
+            result.mean_radio_accuracy()
+        )
+        first = loaded["intervals"][0]
+        assert first["predicted_radio_blocks"] > 0.0
+        assert 0.0 <= first["radio_accuracy"] <= 1.0
+        assert sum(first["group_sizes"].values()) == 6

@@ -1,0 +1,265 @@
+"""Unit tests for the user-behaviour substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.behavior import (
+    PreferenceModel,
+    PreferenceVector,
+    SessionConfig,
+    SessionGenerator,
+    SwipeProbabilityEstimator,
+    WatchRecord,
+    WatchingDurationModel,
+    cosine_similarity,
+    empirical_swipe_distribution,
+    random_preference,
+    swipe_probability_from_durations,
+)
+from repro.behavior.session import session_engagement_seconds
+from repro.behavior.swiping import expected_transmitted_fraction
+from repro.video import DEFAULT_CATEGORIES
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(21)
+
+
+class TestPreferenceVector:
+    def test_normalisation(self):
+        vector = PreferenceVector({"News": 2.0, "Game": 2.0})
+        assert vector.weight("News") == pytest.approx(0.5)
+        assert sum(vector.as_dict().values()) == pytest.approx(1.0)
+
+    def test_negative_weights_clamped(self):
+        vector = PreferenceVector({"News": -1.0, "Game": 1.0})
+        assert vector.weight("News") == 0.0
+        assert vector.weight("Game") == pytest.approx(1.0)
+
+    def test_all_zero_falls_back_to_uniform(self):
+        vector = PreferenceVector({"News": 0.0, "Game": 0.0})
+        assert vector.weight("News") == pytest.approx(0.5)
+
+    def test_favourite_and_least_favourite(self):
+        vector = PreferenceVector({"News": 0.7, "Music": 0.2, "Game": 0.1})
+        assert vector.favourite() == "News"
+        assert vector.least_favourite() == "Game"
+
+    def test_as_array_respects_requested_order(self):
+        vector = PreferenceVector({"News": 0.75, "Game": 0.25})
+        np.testing.assert_allclose(vector.as_array(["Game", "News"]), [0.25, 0.75])
+
+    def test_entropy_lower_for_focused_user(self):
+        focused = PreferenceVector({"News": 0.95, "Game": 0.05})
+        uniform = PreferenceVector({"News": 0.5, "Game": 0.5})
+        assert focused.entropy() < uniform.entropy()
+
+    def test_empty_categories_rejected(self):
+        with pytest.raises(ValueError):
+            PreferenceVector({})
+
+    def test_random_preference_with_favourite_is_biased(self, rng):
+        favoured = [
+            random_preference(rng, favourite="News", favourite_boost=6.0).weight("News")
+            for _ in range(50)
+        ]
+        unbiased = [random_preference(rng).weight("News") for _ in range(50)]
+        assert np.mean(favoured) > np.mean(unbiased)
+
+    def test_cosine_similarity_bounds(self, rng):
+        a = random_preference(rng)
+        b = random_preference(rng)
+        value = cosine_similarity(a, b)
+        assert 0.0 <= value <= 1.0 + 1e-9
+        assert cosine_similarity(a, a) == pytest.approx(1.0)
+
+
+class TestPreferenceModel:
+    def test_update_moves_towards_engagement(self):
+        initial = PreferenceVector({c: 1.0 for c in DEFAULT_CATEGORIES})
+        model = PreferenceModel(initial, learning_rate=0.5)
+        before = model.preference.weight("News")
+        model.update_from_engagement({"News": 100.0})
+        assert model.preference.weight("News") > before
+
+    def test_update_with_no_engagement_is_noop(self):
+        initial = PreferenceVector({c: 1.0 for c in DEFAULT_CATEGORIES})
+        model = PreferenceModel(initial, learning_rate=0.5)
+        model.update_from_engagement({})
+        assert model.preference == initial
+
+    def test_invalid_learning_rate(self):
+        initial = PreferenceVector({"News": 1.0})
+        with pytest.raises(ValueError):
+            PreferenceModel(initial, learning_rate=1.5)
+
+
+class TestWatchingDurationModel:
+    def test_mean_fraction_increases_with_preference(self):
+        model = WatchingDurationModel()
+        assert model.mean_watched_fraction(0.8) > model.mean_watched_fraction(0.1)
+
+    def test_mean_fraction_capped(self):
+        model = WatchingDurationModel()
+        assert model.mean_watched_fraction(10.0) <= 0.95
+
+    def test_completion_probability_capped(self):
+        model = WatchingDurationModel()
+        assert model.completion_probability(10.0) <= 0.9
+
+    def test_sample_within_video_duration(self, rng, small_catalog):
+        model = WatchingDurationModel()
+        preference = PreferenceVector({c: 1.0 for c in DEFAULT_CATEGORIES})
+        for video in list(small_catalog)[:10]:
+            duration = model.sample_watch_duration(video, preference, rng)
+            assert 0.0 <= duration <= video.duration_s + 1e-9
+
+    def test_preferred_category_watched_longer_on_average(self, rng, small_catalog):
+        model = WatchingDurationModel()
+        video = next(iter(small_catalog))
+        loving = PreferenceVector({video.category: 1.0})
+        indifferent = PreferenceVector({c: 1.0 for c in DEFAULT_CATEGORIES})
+        love_mean = np.mean(
+            [model.sample_watch_duration(video, loving, rng) for _ in range(200)]
+        )
+        meh_mean = np.mean(
+            [model.sample_watch_duration(video, indifferent, rng) for _ in range(200)]
+        )
+        assert love_mean > meh_mean
+
+    def test_expected_watch_duration_between_zero_and_duration(self, small_catalog):
+        model = WatchingDurationModel()
+        preference = PreferenceVector({c: 1.0 for c in DEFAULT_CATEGORIES})
+        video = next(iter(small_catalog))
+        expected = model.expected_watch_duration(video, preference)
+        assert 0.0 < expected <= video.duration_s
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            WatchingDurationModel(base_mean_fraction=0.0)
+        with pytest.raises(ValueError):
+            WatchingDurationModel(concentration=0.0)
+
+
+class TestWatchRecord:
+    def test_watched_fraction(self):
+        record = WatchRecord(0, 1, "News", 5.0, 10.0, swiped=True)
+        assert record.watched_fraction == pytest.approx(0.5)
+
+    def test_watch_cannot_exceed_video(self):
+        with pytest.raises(ValueError):
+            WatchRecord(0, 1, "News", 11.0, 10.0, swiped=False)
+
+
+class TestSwiping:
+    def test_swipe_probability_from_durations(self):
+        prob = swipe_probability_from_durations([5.0, 10.0], [10.0, 10.0])
+        assert prob == pytest.approx(0.5)
+
+    def test_swipe_probability_empty_is_zero(self):
+        assert swipe_probability_from_durations([], []) == 0.0
+
+    def test_swipe_probability_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            swipe_probability_from_durations([1.0], [1.0, 2.0])
+
+    def test_empirical_distribution_smoothing(self):
+        records = [WatchRecord(0, 1, "News", 2.0, 10.0, swiped=True)]
+        dist = empirical_swipe_distribution(records, categories=("News", "Game"))
+        assert 0.0 < dist["News"] < 1.0
+        assert dist["Game"] == pytest.approx(0.5)
+
+    def test_estimator_swipe_probability_converges(self, rng):
+        estimator = SwipeProbabilityEstimator(("News", "Game"), laplace_smoothing=0.5)
+        for i in range(200):
+            swiped = bool(rng.random() < 0.3)
+            duration = 3.0 if swiped else 10.0
+            estimator.observe(WatchRecord(0, i, "News", duration, 10.0, swiped=swiped))
+        assert estimator.swipe_probability("News") == pytest.approx(0.3, abs=0.08)
+
+    def test_estimator_unknown_category_raises(self):
+        estimator = SwipeProbabilityEstimator(("News",))
+        with pytest.raises(KeyError):
+            estimator.swipe_probability("Opera")
+
+    def test_estimator_cumulative_distribution_properties(self, rng):
+        estimator = SwipeProbabilityEstimator(DEFAULT_CATEGORIES)
+        for i in range(100):
+            category = str(rng.choice(DEFAULT_CATEGORIES))
+            watch = float(rng.uniform(1.0, 10.0))
+            estimator.observe(
+                WatchRecord(0, i, category, watch, 10.0, swiped=watch < 10.0 - 1e-9)
+            )
+        cumulative = estimator.cumulative_distribution()
+        values = list(cumulative.values())
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+        assert values[-1] == pytest.approx(1.0)
+
+    def test_estimator_merge_adds_counts(self):
+        a = SwipeProbabilityEstimator(("News",), laplace_smoothing=0.0)
+        b = SwipeProbabilityEstimator(("News",), laplace_smoothing=0.0)
+        a.observe(WatchRecord(0, 1, "News", 2.0, 10.0, swiped=True))
+        b.observe(WatchRecord(1, 2, "News", 10.0, 10.0, swiped=False))
+        merged = a.merge(b)
+        assert merged.total_observations == 2
+        assert merged.swipe_probability("News") == pytest.approx(0.5)
+
+    def test_category_watch_share_sums_to_one(self, rng):
+        estimator = SwipeProbabilityEstimator(DEFAULT_CATEGORIES)
+        for i in range(50):
+            category = str(rng.choice(DEFAULT_CATEGORIES))
+            estimator.observe(WatchRecord(0, i, category, 5.0, 10.0, swiped=True))
+        assert sum(estimator.category_watch_share().values()) == pytest.approx(1.0)
+
+    def test_expected_transmitted_fraction(self):
+        assert expected_transmitted_fraction(0.0, 0.5) == pytest.approx(1.0)
+        assert expected_transmitted_fraction(1.0, 0.5) == pytest.approx(0.5)
+        assert expected_transmitted_fraction(0.5, 0.4) == pytest.approx(0.7)
+        with pytest.raises(ValueError):
+            expected_transmitted_fraction(1.5, 0.5)
+
+
+class TestSessions:
+    def test_session_covers_requested_duration(self, session_generator, rng):
+        preference = random_preference(rng)
+        events = session_generator.generate_session(0, preference, rng=rng, duration_s=60.0)
+        assert events, "session should contain at least one viewing"
+        assert events[-1].end_time_s <= 60.0 + 1e-6
+        last_start = events[-1].start_time_s
+        assert last_start < 60.0
+
+    def test_events_are_time_ordered(self, session_generator, rng):
+        events = session_generator.generate_session(0, random_preference(rng), rng=rng)
+        starts = [event.start_time_s for event in events]
+        assert starts == sorted(starts)
+
+    def test_watch_durations_within_video(self, session_generator, rng):
+        events = session_generator.generate_session(1, random_preference(rng), rng=rng)
+        for event in events:
+            assert 0.0 <= event.record.watch_duration_s <= event.record.video_duration_s + 1e-9
+
+    def test_population_sessions_one_per_user(self, session_generator, rng, preferences):
+        sessions = session_generator.generate_population_sessions(preferences, rng=rng)
+        assert len(sessions) == len(preferences)
+        for user_id, events in enumerate(sessions):
+            assert all(event.record.user_id == user_id for event in events)
+
+    def test_preferred_category_dominates_engagement(self, small_catalog, rng):
+        generator = SessionGenerator(
+            small_catalog,
+            WatchingDurationModel(),
+            SessionConfig(session_duration_s=600.0, recommendation_popularity_weight=0.1),
+        )
+        preference = PreferenceVector({"News": 0.9, **{c: 0.1 for c in DEFAULT_CATEGORIES[1:]}})
+        events = generator.generate_session(0, preference, rng=rng, duration_s=600.0)
+        engagement = session_engagement_seconds(events)
+        assert engagement.get("News", 0.0) == max(engagement.values())
+
+    def test_invalid_session_config(self):
+        with pytest.raises(ValueError):
+            SessionConfig(session_duration_s=0.0)
+        with pytest.raises(ValueError):
+            SessionConfig(recommendation_popularity_weight=2.0)

@@ -1,0 +1,137 @@
+"""Unit and integration tests for reservation planning (the paper's future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdmissionController,
+    DTResourcePredictionScheme,
+    ReservationPlanner,
+    ReservationPolicy,
+    SchemeConfig,
+)
+from repro.core.demand import GroupDemandPrediction
+from repro.sim import SimulationConfig, StreamingSimulator
+
+
+def make_prediction(blocks: float, cycles: float = 1e9) -> GroupDemandPrediction:
+    return GroupDemandPrediction(
+        group_id=0,
+        member_ids=[0, 1],
+        expected_traffic_bits=1e8,
+        expected_engagement_s=100.0,
+        expected_videos=10.0,
+        radio_resource_blocks=blocks,
+        computing_cycles=cycles,
+        efficiency_bps_hz=2.0,
+        representation_name="480p",
+    )
+
+
+class TestReservationPolicy:
+    def test_margin_and_quantisation(self):
+        policy = ReservationPolicy(margin=1.2, quantise=True)
+        assert policy.radio_request(make_prediction(10.0)) == pytest.approx(12.0)
+        assert policy.radio_request(make_prediction(10.1)) == pytest.approx(13.0)
+
+    def test_floor_applies_to_tiny_predictions(self):
+        policy = ReservationPolicy(margin=1.0, floor_blocks=2.0, quantise=False)
+        assert policy.radio_request(make_prediction(0.1)) == pytest.approx(2.0)
+
+    def test_outage_prediction_gets_floor(self):
+        policy = ReservationPolicy(margin=1.5, floor_blocks=3.0, quantise=False)
+        assert policy.radio_request(make_prediction(float("inf"))) == pytest.approx(4.5)
+
+    def test_compute_request_scales_by_margin(self):
+        policy = ReservationPolicy(margin=1.25)
+        assert policy.compute_request(make_prediction(5.0, cycles=8e9)) == pytest.approx(1e10)
+
+    def test_requests_for_all_groups(self):
+        policy = ReservationPolicy(margin=1.0, quantise=False)
+        predictions = {0: make_prediction(4.0), 1: make_prediction(6.0)}
+        requests = policy.radio_requests(predictions)
+        assert requests == {0: pytest.approx(4.0), 1: pytest.approx(6.0)}
+
+    def test_invalid_margin(self):
+        with pytest.raises(ValueError):
+            ReservationPolicy(margin=0.9)
+
+
+class TestAdmissionController:
+    def test_requests_within_budget_granted(self):
+        controller = AdmissionController(100.0)
+        result = controller.admit({0: 40.0, 1: 50.0})
+        assert not result.scaled_down
+        assert result.total_granted == pytest.approx(90.0)
+
+    def test_oversubscription_scales_proportionally(self):
+        controller = AdmissionController(100.0)
+        result = controller.admit({0: 150.0, 1: 50.0})
+        assert result.scaled_down
+        assert result.total_granted == pytest.approx(100.0)
+        assert result.granted[0] == pytest.approx(75.0)
+        assert result.granted[1] == pytest.approx(25.0)
+
+    def test_zero_requests(self):
+        controller = AdmissionController(10.0)
+        result = controller.admit({0: 0.0})
+        assert result.total_granted == 0.0
+        assert not result.scaled_down
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0.0)
+
+
+class TestReservationPlanner:
+    def make_scheme(self):
+        sim_config = SimulationConfig(
+            num_users=10,
+            num_videos=30,
+            num_intervals=6,
+            interval_s=90.0,
+            seed=13,
+        )
+        scheme_config = SchemeConfig(
+            warmup_intervals=1,
+            cnn_epochs=3,
+            ddqn_episodes=3,
+            mc_rollouts=6,
+            max_groups=4,
+            seed=0,
+        )
+        return DTResourcePredictionScheme(StreamingSimulator(sim_config), scheme_config)
+
+    def test_planner_produces_per_interval_audit(self):
+        planner = ReservationPlanner(self.make_scheme(), ReservationPolicy(margin=1.15))
+        report = planner.run(num_intervals=3)
+        assert report.num_intervals == 3
+        assert report.mean_over_provisioning() >= 0.0
+        assert report.mean_under_provisioning() >= 0.0
+        assert 0.0 <= report.under_provisioned_fraction() <= 1.0
+
+    def test_accurate_predictions_keep_overprovisioning_small(self):
+        planner = ReservationPlanner(self.make_scheme(), ReservationPolicy(margin=1.15))
+        report = planner.run(num_intervals=3)
+        actual_mean = np.mean(
+            [sum(usage.used.values()) for usage in report.intervals]
+        )
+        # The wasted head-room should be a modest fraction of the actual usage.
+        assert report.mean_over_provisioning() < 0.6 * actual_mean
+
+    def test_larger_margin_reduces_underprovisioning(self):
+        tight = ReservationPlanner(self.make_scheme(), ReservationPolicy(margin=1.0, quantise=False))
+        generous = ReservationPlanner(self.make_scheme(), ReservationPolicy(margin=1.5, quantise=False))
+        tight_report = tight.run(num_intervals=3)
+        generous_report = generous.run(num_intervals=3)
+        assert (
+            generous_report.mean_under_provisioning()
+            <= tight_report.mean_under_provisioning() + 1e-9
+        )
+
+    def test_invalid_interval_count(self):
+        planner = ReservationPlanner(self.make_scheme())
+        with pytest.raises(ValueError):
+            planner.run(num_intervals=0)

@@ -1,0 +1,70 @@
+"""Unit tests for the autoregressive and seasonal baseline predictors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.predict import ARPredictor, SeasonalNaivePredictor
+
+
+class TestARPredictor:
+    def test_learns_linear_trend(self):
+        series = np.arange(1.0, 20.0)
+        prediction = ARPredictor(order=2).predict_next(series)
+        assert prediction == pytest.approx(20.0, rel=0.05)
+
+    def test_learns_alternating_series(self):
+        series = np.array([1.0, 3.0] * 10)
+        prediction = ARPredictor(order=2).predict_next(series)
+        assert prediction == pytest.approx(1.0, abs=0.3)
+
+    def test_constant_series(self):
+        prediction = ARPredictor(order=3).predict_next([5.0] * 12)
+        assert prediction == pytest.approx(5.0, rel=1e-3)
+
+    def test_short_history_falls_back_to_last_value(self):
+        assert ARPredictor(order=4).predict_next([2.0, 3.0]) == 3.0
+
+    def test_never_negative(self):
+        series = [10.0, 6.0, 2.0, 0.5]
+        assert ARPredictor(order=2).predict_next(series) >= 0.0
+
+    def test_outperforms_last_value_on_trended_series(self):
+        rng = np.random.default_rng(0)
+        series = np.arange(30, dtype=float) * 2.0 + rng.normal(0, 0.5, size=30)
+        ar = ARPredictor(order=2).predict_series(series, warmup=6)
+        last = np.asarray(series[5:-1])
+        ar_error = np.abs(ar - series[6:]).mean()
+        last_error = np.abs(last - series[6:]).mean()
+        assert ar_error < last_error
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ARPredictor(order=0)
+        with pytest.raises(ValueError):
+            ARPredictor(order=2, ridge=-1.0)
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ValueError):
+            ARPredictor().predict_next([])
+
+
+class TestSeasonalNaive:
+    def test_repeats_one_period_ago(self):
+        predictor = SeasonalNaivePredictor(period=3)
+        assert predictor.predict_next([1.0, 2.0, 3.0, 4.0, 5.0]) == 3.0
+
+    def test_short_history_falls_back_to_last(self):
+        predictor = SeasonalNaivePredictor(period=5)
+        assert predictor.predict_next([7.0, 8.0]) == 8.0
+
+    def test_perfect_on_periodic_series(self):
+        series = [1.0, 2.0, 3.0] * 5
+        predictor = SeasonalNaivePredictor(period=3)
+        predictions = predictor.predict_series(series, warmup=3)
+        np.testing.assert_allclose(predictions, series[3:])
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            SeasonalNaivePredictor(period=0)

@@ -1,0 +1,217 @@
+"""Unit tests for the simulation substrate (clock, events, metrics, simulator)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    EventQueue,
+    MetricRecorder,
+    SimulationClock,
+    SimulationConfig,
+    StreamingSimulator,
+    singleton_grouping,
+)
+from repro.twin.attributes import CHANNEL_CONDITION
+
+
+class TestClock:
+    def test_interval_bounds(self):
+        clock = SimulationClock(interval_s=300.0)
+        assert clock.interval_bounds(2) == (600.0, 900.0)
+
+    def test_advance_and_current_interval(self):
+        clock = SimulationClock(interval_s=100.0)
+        clock.advance(250.0)
+        assert clock.current_interval == 2
+        clock.advance_interval()
+        assert clock.now_s == pytest.approx(300.0)
+
+    def test_cannot_move_backwards(self):
+        clock = SimulationClock()
+        clock.advance(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(5.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            SimulationClock(interval_s=0.0)
+
+
+class TestEventQueue:
+    def test_events_fire_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(5.0, name="b", callback=lambda: fired.append("b"))
+        queue.schedule(1.0, name="a", callback=lambda: fired.append("a"))
+        queue.schedule(9.0, name="c", callback=lambda: fired.append("c"))
+        queue.run_until(6.0)
+        assert fired == ["a", "b"]
+        assert queue.now_s == pytest.approx(6.0)
+        assert len(queue) == 1
+
+    def test_ties_fire_in_insertion_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, callback=lambda: fired.append("first"))
+        queue.schedule(1.0, callback=lambda: fired.append("second"))
+        queue.run_until(1.0)
+        assert fired == ["first", "second"]
+
+    def test_cancelled_events_do_not_fire(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.schedule(1.0, callback=lambda: fired.append("x"))
+        queue.cancel(event)
+        queue.run_until(2.0)
+        assert fired == []
+        assert queue.is_empty
+
+    def test_cannot_schedule_in_the_past(self):
+        queue = EventQueue()
+        queue.run_until(10.0)
+        with pytest.raises(ValueError):
+            queue.schedule(5.0)
+
+    def test_schedule_in_relative(self):
+        queue = EventQueue()
+        queue.run_until(10.0)
+        event = queue.schedule_in(5.0, name="later")
+        assert event.time_s == pytest.approx(15.0)
+
+    def test_pop_advances_clock(self):
+        queue = EventQueue()
+        queue.schedule(3.0, name="x")
+        event = queue.pop()
+        assert event is not None and event.time_s == 3.0
+        assert queue.now_s == pytest.approx(3.0)
+        assert queue.pop() is None
+
+
+class TestMetricRecorder:
+    def test_record_and_summary(self):
+        recorder = MetricRecorder()
+        for value in (1.0, 2.0, 3.0):
+            recorder.record("demand", value)
+        summary = recorder.summary("demand")
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.total == pytest.approx(6.0)
+        assert "demand" in recorder.as_table()
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(KeyError):
+            MetricRecorder().series("nope")
+
+    def test_non_finite_rejected(self):
+        recorder = MetricRecorder()
+        with pytest.raises(ValueError):
+            recorder.record("x", float("inf"))
+
+    def test_record_many_and_last(self):
+        recorder = MetricRecorder()
+        recorder.record_many({"a": 1.0, "b": 2.0})
+        recorder.record("a", 5.0)
+        assert recorder.last("a") == 5.0
+        assert recorder.names() == ["a", "b"]
+
+
+class TestSingletonGrouping:
+    def test_one_group_per_user(self):
+        grouping = singleton_grouping([4, 7, 9])
+        assert len(grouping) == 3
+        assert sorted(uid for members in grouping.values() for uid in members) == [4, 7, 9]
+        assert all(len(members) == 1 for members in grouping.values())
+
+
+class TestStreamingSimulator:
+    def test_construction_builds_population(self, tiny_simulator, tiny_sim_config):
+        assert len(tiny_simulator.user_ids()) == tiny_sim_config.num_users
+        assert len(tiny_simulator.catalog) == tiny_sim_config.num_videos
+        assert len(tiny_simulator.twins) == tiny_sim_config.num_users
+
+    def test_run_interval_records_usage(self, tiny_simulator):
+        user_ids = tiny_simulator.user_ids()
+        grouping = {0: user_ids[:4], 1: user_ids[4:]}
+        result = tiny_simulator.run_interval(grouping)
+        assert set(result.usage_by_group) == {0, 1}
+        for usage in result.usage_by_group.values():
+            assert usage.traffic_bits > 0.0
+            assert usage.videos_played > 0
+            assert usage.computing_cycles >= 0.0
+            assert np.isfinite(usage.resource_blocks)
+        assert result.total_resource_blocks > 0.0
+        assert result.total_computing_cycles > 0.0
+
+    def test_run_interval_advances_clock(self, tiny_simulator, tiny_sim_config):
+        grouping = singleton_grouping(tiny_simulator.user_ids())
+        before = tiny_simulator.clock.current_interval
+        tiny_simulator.run_interval(grouping)
+        assert tiny_simulator.clock.current_interval == before + 1
+
+    def test_twins_populated_after_interval(self, populated_simulator, tiny_sim_config):
+        for uid in populated_simulator.user_ids():
+            twin = populated_simulator.twins.twin(uid)
+            assert len(twin.store(CHANNEL_CONDITION)) > 0
+            assert twin.watch_records(), "every user should have watch records"
+
+    def test_grouping_must_cover_all_users(self, tiny_simulator):
+        user_ids = tiny_simulator.user_ids()
+        with pytest.raises(ValueError):
+            tiny_simulator.run_interval({0: user_ids[:3]})
+
+    def test_grouping_must_not_duplicate_users(self, tiny_simulator):
+        user_ids = tiny_simulator.user_ids()
+        grouping = {0: user_ids, 1: [user_ids[0]]}
+        with pytest.raises(ValueError):
+            tiny_simulator.run_interval(grouping)
+
+    def test_grouping_unknown_user_rejected(self, tiny_simulator):
+        grouping = {0: tiny_simulator.user_ids() + [999]}
+        with pytest.raises(ValueError):
+            tiny_simulator.run_interval(grouping)
+
+    def test_empty_group_rejected(self, tiny_simulator):
+        grouping = {0: tiny_simulator.user_ids(), 1: []}
+        with pytest.raises(ValueError):
+            tiny_simulator.run_interval(grouping)
+
+    def test_watch_records_respect_video_durations(self, populated_simulator):
+        for events in populated_simulator.history[0].events_by_user.values():
+            for event in events:
+                assert event.record.watch_duration_s <= event.record.video_duration_s + 1e-9
+
+    def test_fewer_groups_use_fewer_or_equal_radio_blocks_than_unicast(self, tiny_sim_config):
+        """Multicast sharing should not need more resource blocks than unicast."""
+        multicast_sim = StreamingSimulator(tiny_sim_config)
+        unicast_sim = StreamingSimulator(tiny_sim_config)
+        user_ids = multicast_sim.user_ids()
+        multicast = multicast_sim.run_interval({0: user_ids[:4], 1: user_ids[4:]})
+        unicast = unicast_sim.run_interval(singleton_grouping(user_ids))
+        assert multicast.total_traffic_bits <= unicast.total_traffic_bits * 1.2
+
+    def test_run_with_grouping_function(self, tiny_sim_config):
+        simulator = StreamingSimulator(tiny_sim_config)
+        results = simulator.run(
+            lambda interval, sim: singleton_grouping(sim.user_ids()), num_intervals=2
+        )
+        assert len(results) == 2
+        assert simulator.metrics.series("radio.total_resource_blocks").shape == (2,)
+
+    def test_group_link_state_worst_member_rule(self, tiny_simulator):
+        user_ids = tiny_simulator.user_ids()
+        efficiency, representation, snrs = tiny_simulator.group_link_state(user_ids, 0.0, 30.0)
+        assert efficiency >= 0.0
+        assert representation.name in {"240p", "360p", "480p", "720p", "1080p"}
+        assert set(snrs) == set(user_ids)
+
+    def test_invalid_simulation_config(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(num_users=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(favourite_category="Opera")
+        with pytest.raises(ValueError):
+            SimulationConfig(favourite_user_fraction=1.5)

@@ -1,0 +1,273 @@
+"""Unit tests for the digital-twin substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.behavior import WatchRecord, random_preference
+from repro.mobility import StaticMobility
+from repro.net import BaseStation
+from repro.twin import (
+    AttributeSpec,
+    CollectionPolicy,
+    DigitalTwinManager,
+    StatusCollector,
+    TimeSeriesStore,
+    UserDigitalTwin,
+    standard_attributes,
+)
+from repro.twin.attributes import CHANNEL_CONDITION, LOCATION, PREFERENCE, WATCHING_DURATION
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(41)
+
+
+class TestAttributes:
+    def test_standard_set_contains_paper_attributes(self):
+        specs = standard_attributes()
+        assert set(specs) == {CHANNEL_CONDITION, LOCATION, WATCHING_DURATION, PREFERENCE}
+
+    def test_different_collection_frequencies(self):
+        specs = standard_attributes()
+        assert specs[CHANNEL_CONDITION].collection_period_s < specs[PREFERENCE].collection_period_s
+
+    def test_samples_per_interval(self):
+        spec = AttributeSpec("x", dimension=1, collection_period_s=5.0)
+        assert spec.samples_per_interval(300.0) == 60
+        assert spec.samples_per_interval(1.0) == 1
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            AttributeSpec("", dimension=1, collection_period_s=1.0)
+        with pytest.raises(ValueError):
+            AttributeSpec("x", dimension=0, collection_period_s=1.0)
+
+    def test_preference_dimension_follows_categories(self):
+        specs = standard_attributes(num_categories=5)
+        assert specs[PREFERENCE].dimension == 5
+
+
+class TestTimeSeriesStore:
+    def test_append_and_latest(self):
+        store = TimeSeriesStore(dimension=2)
+        store.append(0.0, [1.0, 2.0])
+        store.append(1.0, [3.0, 4.0])
+        assert len(store) == 2
+        np.testing.assert_allclose(store.latest_value(), [3.0, 4.0])
+
+    def test_non_decreasing_timestamps_enforced(self):
+        store = TimeSeriesStore(dimension=1)
+        store.append(5.0, [1.0])
+        with pytest.raises(ValueError):
+            store.append(4.0, [2.0])
+
+    def test_dimension_enforced(self):
+        store = TimeSeriesStore(dimension=2)
+        with pytest.raises(ValueError):
+            store.append(0.0, [1.0])
+
+    def test_window_query_half_open(self):
+        store = TimeSeriesStore(dimension=1)
+        for t in range(5):
+            store.append(float(t), [float(t)])
+        window = store.window(1.0, 3.0)
+        assert [sample.timestamp_s for sample in window] == [1.0, 2.0]
+
+    def test_staleness(self):
+        store = TimeSeriesStore(dimension=1)
+        assert store.staleness_s(10.0) == float("inf")
+        store.append(4.0, [1.0])
+        assert store.staleness_s(10.0) == pytest.approx(6.0)
+
+    def test_resample_zero_order_hold(self):
+        store = TimeSeriesStore(dimension=1)
+        store.append(0.0, [1.0])
+        store.append(10.0, [2.0])
+        resampled = store.resample([0.0, 5.0, 10.0, 20.0])
+        np.testing.assert_allclose(resampled[:, 0], [1.0, 1.0, 2.0, 2.0])
+
+    def test_resample_empty_store_is_zeros(self):
+        store = TimeSeriesStore(dimension=3)
+        np.testing.assert_allclose(store.resample([0.0, 1.0]), 0.0)
+
+    def test_max_samples_truncates(self):
+        store = TimeSeriesStore(dimension=1, max_samples=3)
+        for t in range(10):
+            store.append(float(t), [float(t)])
+        assert len(store) == 3
+        np.testing.assert_allclose(store.values()[:, 0], [7.0, 8.0, 9.0])
+
+    def test_mean_over_window(self):
+        store = TimeSeriesStore(dimension=1)
+        for t in range(4):
+            store.append(float(t), [float(t)])
+        assert store.mean()[0] == pytest.approx(1.5)
+        assert store.mean(start_s=2.0, end_s=4.0)[0] == pytest.approx(2.5)
+
+
+class TestUserDigitalTwin:
+    def test_record_and_latest_status(self):
+        twin = UserDigitalTwin(0)
+        twin.record(CHANNEL_CONDITION, 0.0, [12.5])
+        twin.record(LOCATION, 0.0, [10.0, 20.0])
+        status = twin.latest_status()
+        assert status[CHANNEL_CONDITION][0] == pytest.approx(12.5)
+        np.testing.assert_allclose(status[LOCATION], [10.0, 20.0])
+
+    def test_unknown_attribute_raises(self):
+        twin = UserDigitalTwin(0)
+        with pytest.raises(KeyError):
+            twin.record("heart_rate", 0.0, [1.0])
+
+    def test_record_watch_mirrors_duration_series(self):
+        twin = UserDigitalTwin(3)
+        record = WatchRecord(3, 7, "News", 4.0, 10.0, swiped=True, timestamp_s=2.0)
+        twin.record_watch(record)
+        assert twin.watch_records() == [record]
+        assert len(twin.store(WATCHING_DURATION)) == 1
+
+    def test_record_watch_wrong_user_rejected(self):
+        twin = UserDigitalTwin(3)
+        record = WatchRecord(4, 7, "News", 4.0, 10.0, swiped=True)
+        with pytest.raises(ValueError):
+            twin.record_watch(record)
+
+    def test_watch_records_window_filter(self):
+        twin = UserDigitalTwin(0)
+        for t in range(5):
+            twin.record_watch(WatchRecord(0, t, "News", 1.0, 10.0, swiped=True, timestamp_s=float(t)))
+        assert len(twin.watch_records(start_s=1.0, end_s=3.0)) == 2
+
+    def test_engagement_seconds_by_category(self):
+        twin = UserDigitalTwin(0)
+        twin.record_watch(WatchRecord(0, 1, "News", 5.0, 10.0, swiped=True, timestamp_s=0.0))
+        twin.record_watch(WatchRecord(0, 2, "Game", 2.0, 10.0, swiped=True, timestamp_s=1.0))
+        twin.record_watch(WatchRecord(0, 3, "News", 3.0, 10.0, swiped=True, timestamp_s=2.0))
+        engagement = twin.engagement_seconds()
+        assert engagement["News"] == pytest.approx(8.0)
+        assert engagement["Game"] == pytest.approx(2.0)
+
+    def test_feature_matrix_shape_and_channels(self):
+        twin = UserDigitalTwin(0, attributes=standard_attributes(num_categories=4))
+        twin.record(CHANNEL_CONDITION, 0.0, [10.0])
+        twin.record(LOCATION, 0.0, [1.0, 2.0])
+        twin.record(PREFERENCE, 0.0, [0.25, 0.25, 0.25, 0.25])
+        matrix = twin.feature_matrix(0.0, 60.0, num_steps=16)
+        assert matrix.shape == (16, twin.feature_dimension())
+        assert twin.feature_dimension() == 1 + 2 + 1 + 4
+
+    def test_feature_matrix_invalid_window(self):
+        twin = UserDigitalTwin(0)
+        with pytest.raises(ValueError):
+            twin.feature_matrix(10.0, 10.0)
+
+    def test_max_staleness(self):
+        twin = UserDigitalTwin(0)
+        twin.record(CHANNEL_CONDITION, 0.0, [1.0])
+        assert twin.max_staleness_s(5.0) == float("inf")  # other attributes never collected
+
+
+class TestStatusCollector:
+    def _collect(self, policy, interval=(0.0, 60.0)):
+        twin = UserDigitalTwin(0, attributes=standard_attributes(num_categories=8))
+        collector = StatusCollector(policy=policy, seed=1)
+        mobility = StaticMobility([100.0, 100.0])
+        bs = BaseStation(bs_id=0, position=np.array([0.0, 0.0]))
+        preference = random_preference(np.random.default_rng(0))
+        collector.collect_interval(twin, mobility, bs, preference, [], *interval)
+        return twin
+
+    def test_perfect_policy_collects_at_attribute_rates(self):
+        twin = self._collect(CollectionPolicy.perfect())
+        assert len(twin.store(CHANNEL_CONDITION)) == 60  # 1 s period over 60 s
+        assert len(twin.store(LOCATION)) == 12  # 5 s period
+        assert len(twin.store(PREFERENCE)) == 1  # 60 s period
+
+    def test_period_multiplier_reduces_samples(self):
+        stale = self._collect(CollectionPolicy(period_multiplier=4.0))
+        fresh = self._collect(CollectionPolicy.perfect())
+        assert len(stale.store(CHANNEL_CONDITION)) < len(fresh.store(CHANNEL_CONDITION))
+
+    def test_drop_probability_reduces_samples(self):
+        lossy = self._collect(CollectionPolicy(drop_probability=0.5))
+        fresh = self._collect(CollectionPolicy.perfect())
+        assert len(lossy.store(CHANNEL_CONDITION)) < len(fresh.store(CHANNEL_CONDITION))
+
+    def test_delay_shifts_timestamps(self):
+        delayed = self._collect(CollectionPolicy(delay_s=10.0))
+        assert delayed.store(CHANNEL_CONDITION).timestamps()[0] == pytest.approx(10.0)
+
+    def test_invalid_policy(self):
+        with pytest.raises(ValueError):
+            CollectionPolicy(period_multiplier=0.0)
+        with pytest.raises(ValueError):
+            CollectionPolicy(drop_probability=1.0)
+
+    def test_watch_events_recorded(self):
+        twin = UserDigitalTwin(0)
+        collector = StatusCollector(seed=1)
+        mobility = StaticMobility([10.0, 10.0])
+        bs = BaseStation(bs_id=0, position=np.array([0.0, 0.0]))
+        preference = random_preference(np.random.default_rng(0))
+        from repro.behavior.session import ViewingEvent
+
+        record = WatchRecord(0, 5, "News", 3.0, 10.0, swiped=True, timestamp_s=1.0)
+        collector.collect_interval(
+            twin, mobility, bs, preference, [ViewingEvent(record=record, start_time_s=1.0)], 0.0, 30.0
+        )
+        assert twin.watch_records() == [record]
+
+
+class TestDigitalTwinManager:
+    def test_register_and_lookup(self):
+        manager = DigitalTwinManager()
+        manager.register_users([3, 1, 2])
+        assert len(manager) == 3
+        assert manager.user_ids() == [1, 2, 3]
+        assert isinstance(manager.twin(2), UserDigitalTwin)
+        with pytest.raises(KeyError):
+            manager.twin(99)
+
+    def test_register_is_idempotent(self):
+        manager = DigitalTwinManager()
+        first = manager.register_user(0)
+        second = manager.register_user(0)
+        assert first is second
+
+    def test_feature_tensor_shape(self):
+        manager = DigitalTwinManager(attributes=standard_attributes(num_categories=4))
+        manager.register_users(range(3))
+        for uid in range(3):
+            manager.twin(uid).record(CHANNEL_CONDITION, 0.0, [float(uid)])
+        tensor = manager.feature_tensor(0.0, 30.0, num_steps=8)
+        assert tensor.shape == (3, 8, 1 + 2 + 1 + 4)
+
+    def test_feature_tensor_requires_users(self):
+        manager = DigitalTwinManager()
+        with pytest.raises(ValueError):
+            manager.feature_tensor(0.0, 10.0)
+
+    def test_watch_records_and_engagement_aggregation(self):
+        manager = DigitalTwinManager()
+        manager.register_users([0, 1])
+        manager.twin(0).record_watch(WatchRecord(0, 5, "News", 4.0, 10.0, swiped=True, timestamp_s=0.0))
+        manager.twin(1).record_watch(WatchRecord(1, 5, "News", 6.0, 10.0, swiped=True, timestamp_s=0.0))
+        assert len(manager.watch_records()) == 2
+        assert manager.engagement_by_video()[5] == pytest.approx(10.0)
+
+    def test_staleness_report_and_stale_users(self):
+        manager = DigitalTwinManager(attributes={"x": AttributeSpec("x", 1, 1.0)})
+        manager.register_users([0, 1])
+        manager.twin(0).record("x", 0.0, [1.0])
+        manager.twin(1).record("x", 90.0, [1.0])
+        stale = manager.stale_users(now_s=100.0, threshold_s=50.0)
+        assert stale == [0]
+
+    def test_remove_user(self):
+        manager = DigitalTwinManager()
+        manager.register_user(0)
+        manager.remove_user(0)
+        assert 0 not in manager
