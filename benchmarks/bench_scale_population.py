@@ -1,0 +1,375 @@
+"""Population-scale benchmark of the vectorized simulation engine.
+
+Times full reservation intervals (ground-truth playback, SNR sampling,
+digital-twin collection) at 25/50/100/200 users and emits a machine-readable
+JSON record via the harness so per-interval cost is tracked across PRs.
+
+At 100 users the vectorized engine is additionally compared against a
+faithful re-implementation of the pre-vectorization (seed) hot path — scalar
+per-sample mobility/SNR/collection loops — both for wall-clock speedup and
+for identical-seed ``IntervalResult`` totals (the compat draw mode consumes
+the shared generator in exactly the scalar order).  The legacy twin stores
+remain array-backed; store appends are a negligible share of interval cost,
+so the comparison is conservative.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_scale_population.py``)
+or under pytest-benchmark like the other benches.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from harness import benchmark_record, run_once, write_benchmark_json
+
+from repro import SimulationConfig, StreamingSimulator
+from repro.sim.simulator import singleton_grouping
+from repro.twin.attributes import CHANNEL_CONDITION, LOCATION, PREFERENCE
+
+POPULATIONS = (25, 50, 100, 200)
+INTERVALS = 3
+COMPARISON_USERS = 100
+MIN_SPEEDUP = 5.0
+SEED = 7
+
+
+# --------------------------------------------------------------- legacy path
+def _legacy_position(mobility):
+    """The seed engine's scalar position query: a linear scan over legs."""
+
+    def position(time_s: float) -> np.ndarray:
+        if time_s < 0:
+            raise ValueError("time_s must be non-negative")
+        mobility._extend_until(time_s)
+        for leg in mobility._legs:
+            if leg.start_time_s <= time_s <= leg.end_time_s:
+                return leg.position(time_s)
+        return mobility._last_position.copy()
+
+    return position
+
+
+def _legacy_sample_member_snrs(sim: StreamingSimulator):
+    """The seed engine's per-sample SNR loop (one Python call per sample)."""
+
+    def sample(member_ids: Sequence[int], start_s: float, end_s: float) -> Dict[int, np.ndarray]:
+        times = np.arange(start_s, end_s, sim.config.channel_sample_period_s)
+        snrs: Dict[int, np.ndarray] = {}
+        for user_id in member_ids:
+            user = sim.users[user_id]
+            bs = sim._base_station(user.serving_bs_id)
+            samples = []
+            for t in times:
+                position = user.mobility.position(float(t))
+                samples.append(bs.sample_snr_db(position, rng=sim._rng))
+            snrs[user_id] = np.array(samples)
+        return snrs
+
+    return sample
+
+
+def _legacy_associate_users(sim: StreamingSimulator):
+    """The seed engine's per-(user, base station) association loop."""
+
+    def associate(time_s: float) -> None:
+        for user in sim.users.values():
+            position = user.mobility.position(time_s)
+            best = max(sim.base_stations, key=lambda bs: bs.mean_snr_db(position))
+            user.serving_bs_id = best.bs_id
+
+    return associate
+
+
+def _legacy_record_watch(udt, record) -> None:
+    """The seed twin's watch mirror: latest() object churn per record."""
+    from repro.twin.attributes import WATCHING_DURATION
+
+    udt._watch_records.append(record)
+    if WATCHING_DURATION in udt._stores:
+        store = udt._stores[WATCHING_DURATION]
+        timestamp = record.timestamp_s
+        if len(store) and timestamp < store.latest().timestamp_s:
+            timestamp = store.latest().timestamp_s
+        store.append(timestamp, [record.watch_duration_s])
+
+
+def _legacy_collect_interval(sim: StreamingSimulator):
+    """The seed collector: one Python call per collected sample."""
+    collector = sim.collector
+
+    def collect(udt, mobility, base_station, preference, events, start_s, end_s, rng=None):
+        rng = rng if rng is not None else collector._rng
+        delay = collector.policy.delay_s
+        if CHANNEL_CONDITION in udt.attributes:
+            spec = udt.attributes[CHANNEL_CONDITION]
+            for t in collector._sample_times(start_s, end_s, spec.collection_period_s):
+                if not collector._keep_sample():
+                    continue
+                position = mobility.position(float(t))
+                snr_db = base_station.sample_snr_db(position, rng=rng)
+                udt.record(CHANNEL_CONDITION, float(t) + delay, [snr_db])
+        if LOCATION in udt.attributes:
+            spec = udt.attributes[LOCATION]
+            for t in collector._sample_times(start_s, end_s, spec.collection_period_s):
+                if not collector._keep_sample():
+                    continue
+                udt.record(LOCATION, float(t) + delay, mobility.position(float(t)))
+        for event in events:
+            if not collector._keep_sample():
+                continue
+            _legacy_record_watch(udt, event.record)
+        if PREFERENCE in udt.attributes:
+            spec = udt.attributes[PREFERENCE]
+            vector = preference.as_array()
+            for t in collector._sample_times(start_s, end_s, spec.collection_period_s):
+                if not collector._keep_sample():
+                    continue
+                udt.record(PREFERENCE, float(t) + delay, vector)
+
+    return collect
+
+
+def _legacy_group_link_state(sim: StreamingSimulator):
+    """The seed link-state path: percentile-based worst-member rule."""
+    from repro.net.mcs import spectral_efficiency
+
+    def link_state(member_ids, start_s, end_s):
+        snr_traces = sim.sample_member_snrs(member_ids, start_s, end_s)
+        mean_snrs = {uid: float(trace.mean()) for uid, trace in snr_traces.items()}
+        snrs = np.asarray(list(mean_snrs.values()), dtype=np.float64)
+        target_snr = float(np.percentile(snrs, 0.0))
+        efficiency = spectral_efficiency(
+            target_snr, implementation_loss=sim.config.implementation_loss
+        )
+        ladder = sim.catalog.get(sim.catalog.video_ids()[0]).ladder
+        representation = ladder.best_fitting(efficiency * sim.config.stream_bandwidth_hz)
+        return efficiency, representation, mean_snrs
+
+    return link_state
+
+
+def _legacy_sample_watch_duration(model):
+    """The seed watch-duration sampler: dict-rebuilding preference lookups."""
+
+    def sample(video, preference, rng):
+        weight = preference.as_dict().get(video.category, 0.0)
+        if rng.random() < model.completion_probability(weight):
+            return float(video.duration_s)
+        mean = model.mean_watched_fraction(weight)
+        alpha = mean * model.concentration
+        beta = (1.0 - mean) * model.concentration
+        fraction = float(rng.beta(alpha, beta))
+        return float(fraction * video.duration_s)
+
+    return sample
+
+
+def _legacy_bits_watched(video, representation, watch_duration_s: float) -> float:
+    """The seed per-call prefix sum (no memoization)."""
+    watch_duration_s = min(watch_duration_s, video.duration_s)
+    segments_needed = int(np.ceil(watch_duration_s / video.segment_duration_s))
+    return float(video.sizes_for(representation)[:segments_needed].sum())
+
+
+def _legacy_play_group_stream(sim: StreamingSimulator):
+    """The seed engine's shared-stream playback.
+
+    Rebuilds the popularity/preference mixture from Python dicts per group
+    and draws videos with ``rng.choice(p=...)`` — the exact pre-cache code
+    path (including the boundary-swipe accounting of the seed engine, which
+    does not affect the compared interval totals).
+    """
+    from repro.behavior.watching import WatchRecord
+    from repro.behavior.session import ViewingEvent
+    from repro.net.multicast import resource_blocks_for_traffic
+    from repro.sim.simulator import GroupIntervalUsage
+
+    def play(group_id, member_ids, representation, efficiency, start_s, end_s,
+             events_by_user, transcode_requests):
+        group_preference = sim._group_preference(member_ids)
+        video_ids = sim.catalog.video_ids()
+        popularity = sim.catalog.popularity.probabilities()
+        pop = np.array([popularity.get(vid, 0.0) for vid in video_ids])
+        # Seed-era weight(): rebuilt the whole preference dict per lookup.
+        pref = np.array(
+            [
+                group_preference.as_dict().get(sim.catalog.get(vid).category, 0.0)
+                for vid in video_ids
+            ]
+        )
+        if pop.sum() > 0:
+            pop = pop / pop.sum()
+        if pref.sum() > 0:
+            pref = pref / pref.sum()
+        w = sim.config.recommendation_popularity_weight
+        mixture = w * pop + (1.0 - w) * pref
+        probabilities = mixture / mixture.sum()
+
+        sample_watch_duration = _legacy_sample_watch_duration(sim.watching_model)
+        now = start_s
+        traffic_bits = 0.0
+        videos_played = 0
+        engagement_seconds = 0.0
+        requests = []
+        while now < end_s:
+            video = sim.catalog.get(int(sim._rng.choice(video_ids, p=probabilities)))
+            member_durations = {}
+            for uid in member_ids:
+                member_durations[uid] = sample_watch_duration(
+                    video, sim.users[uid].preference, sim._rng
+                )
+            transmitted = min(max(member_durations.values()), end_s - now)
+            for uid, duration in member_durations.items():
+                duration = min(duration, end_s - now)
+                record = WatchRecord(
+                    user_id=uid,
+                    video_id=video.video_id,
+                    category=video.category,
+                    watch_duration_s=duration,
+                    video_duration_s=video.duration_s,
+                    swiped=duration < video.duration_s - 1e-9,
+                    timestamp_s=now,
+                )
+                events_by_user[uid].append(ViewingEvent(record=record, start_time_s=now))
+                engagement_seconds += duration
+            traffic_bits += _legacy_bits_watched(video, representation, transmitted)
+            requests.append((video, representation, transmitted))
+            videos_played += 1
+            now += transmitted + sim.config.swipe_gap_s
+
+        transcode_requests[group_id] = requests
+        blocks = resource_blocks_for_traffic(
+            traffic_bits,
+            efficiency,
+            rb_bandwidth_hz=sim.config.rb_bandwidth_hz,
+            interval_s=sim.config.interval_s,
+        )
+        return GroupIntervalUsage(
+            group_id=group_id,
+            member_ids=member_ids,
+            traffic_bits=traffic_bits,
+            efficiency_bps_hz=efficiency,
+            representation_name=representation.name,
+            resource_blocks=blocks,
+            computing_cycles=0.0,
+            videos_played=videos_played,
+            engagement_seconds=engagement_seconds,
+        )
+
+    return play
+
+
+def build_simulator(users: int, legacy: bool = False) -> StreamingSimulator:
+    sim = StreamingSimulator(SimulationConfig(num_users=users, num_intervals=INTERVALS, seed=SEED))
+    if legacy:
+        sim.sample_member_snrs = _legacy_sample_member_snrs(sim)
+        sim._associate_users = _legacy_associate_users(sim)
+        sim.collector.collect_interval = _legacy_collect_interval(sim)
+        sim._play_group_stream = _legacy_play_group_stream(sim)
+        sim.group_link_state = _legacy_group_link_state(sim)
+        for user in sim.users.values():
+            user.mobility.position = _legacy_position(user.mobility)
+    return sim
+
+
+# -------------------------------------------------------------- measurement
+def run_intervals(sim: StreamingSimulator) -> tuple:
+    """``(elapsed_s, per_interval_totals)`` over ``INTERVALS`` intervals."""
+    totals: List[tuple] = []
+    started = time.perf_counter()
+    for _ in range(INTERVALS):
+        result = sim.run_interval(singleton_grouping(sim.user_ids()))
+        totals.append(
+            (
+                result.total_traffic_bits,
+                result.total_resource_blocks,
+                result.total_computing_cycles,
+            )
+        )
+    return time.perf_counter() - started, totals
+
+
+def scale_experiment() -> dict:
+    records = []
+    summary: dict = {}
+    for users in POPULATIONS:
+        elapsed, _ = run_intervals(build_simulator(users))
+        records.append(
+            benchmark_record(
+                "scale_population",
+                elapsed_s=elapsed,
+                users=users,
+                intervals=INTERVALS,
+                engine="vectorized",
+            )
+        )
+        summary[users] = elapsed / INTERVALS
+
+    vec_elapsed, vec_totals = run_intervals(build_simulator(COMPARISON_USERS))
+    legacy_elapsed, legacy_totals = run_intervals(build_simulator(COMPARISON_USERS, legacy=True))
+    records.append(
+        benchmark_record(
+            "scale_population",
+            elapsed_s=legacy_elapsed,
+            users=COMPARISON_USERS,
+            intervals=INTERVALS,
+            engine="legacy",
+        )
+    )
+    speedup = legacy_elapsed / vec_elapsed
+    records.append(
+        benchmark_record(
+            "scale_population_speedup",
+            elapsed_s=vec_elapsed,
+            users=COMPARISON_USERS,
+            intervals=INTERVALS,
+            engine="vectorized",
+            legacy_elapsed_s=legacy_elapsed,
+            speedup=speedup,
+            totals_identical=vec_totals == legacy_totals,
+        )
+    )
+    path = write_benchmark_json("scale_population", records)
+    return {
+        "summary": summary,
+        "speedup": speedup,
+        "totals_identical": vec_totals == legacy_totals,
+        "json_path": str(path),
+    }
+
+
+def report(result: dict) -> None:
+    print()
+    print("Population scale — per-interval wall clock (vectorized engine)")
+    print(f"{'users':>6s} {'s/interval':>11s}")
+    for users, per_interval in sorted(result["summary"].items()):
+        print(f"{users:>6d} {per_interval:>11.3f}")
+    print(
+        f"vs legacy engine at {COMPARISON_USERS} users: "
+        f"{result['speedup']:.1f}x faster, identical-seed totals "
+        f"{'preserved' if result['totals_identical'] else 'DIVERGED'}"
+    )
+    print(f"JSON record: {result['json_path']}")
+
+
+def _assertions(result: dict) -> None:
+    assert result["totals_identical"], "vectorized engine diverged from the legacy engine"
+    assert result["speedup"] >= MIN_SPEEDUP, (
+        f"expected >= {MIN_SPEEDUP}x speedup at {COMPARISON_USERS} users, "
+        f"got {result['speedup']:.2f}x"
+    )
+
+
+def bench_scale_population(benchmark):
+    result = run_once(benchmark, scale_experiment)
+    report(result)
+    _assertions(result)
+
+
+if __name__ == "__main__":
+    result = scale_experiment()
+    report(result)
+    _assertions(result)

@@ -13,9 +13,56 @@ Run with ``-s`` to see the reproduced tables, e.g.::
 
 from __future__ import annotations
 
+import json
+import platform
+import time
+from pathlib import Path
+
 import pytest
 
 from repro import DTResourcePredictionScheme, SchemeConfig, SimulationConfig, StreamingSimulator
+
+#: Where benchmark JSON records land (one file per benchmark name).
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Schema version of the emitted records; bump when fields change meaning.
+BENCHMARK_RECORD_SCHEMA = 1
+
+
+def benchmark_record(name: str, *, elapsed_s: float, users: int, intervals: int, **extra) -> dict:
+    """A machine-comparable benchmark record.
+
+    Always carries the wall-clock timing metadata (``elapsed_s`` total plus
+    the derived per-interval cost, ``users`` and ``intervals``) together with
+    enough environment context (python/platform, unix timestamp, schema
+    version) that records written by different PRs can be compared.
+    """
+    record = {
+        "schema": BENCHMARK_RECORD_SCHEMA,
+        "name": name,
+        "unix_time": time.time(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "users": int(users),
+        "intervals": int(intervals),
+        "elapsed_s": float(elapsed_s),
+        "elapsed_per_interval_s": float(elapsed_s) / max(int(intervals), 1),
+    }
+    record.update(extra)
+    return record
+
+
+def write_benchmark_json(name: str, records) -> Path:
+    """Write benchmark records to ``benchmarks/results/<name>.json``.
+
+    Returns the path written.  Records are wrapped in a top-level object so
+    future fields (e.g. git revision) can be added without breaking readers.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    payload = {"schema": BENCHMARK_RECORD_SCHEMA, "name": name, "records": list(records)}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def fig3_simulation_config(seed: int = 2023, **overrides) -> SimulationConfig:

@@ -29,6 +29,7 @@ class PreferenceVector:
             weights = np.ones(len(self.categories))
             total = weights.sum()
         self._weights = weights / total
+        self._index = {category: i for i, category in enumerate(self.categories)}
 
     # ------------------------------------------------------------ accessors
     def as_dict(self) -> Dict[str, float]:
@@ -42,7 +43,8 @@ class PreferenceVector:
         return np.array([own.get(c, 0.0) for c in categories])
 
     def weight(self, category: str) -> float:
-        return self.as_dict().get(category, 0.0)
+        row = self._index.get(category)
+        return float(self._weights[row]) if row is not None else 0.0
 
     def favourite(self) -> str:
         """Category with the highest preference weight."""

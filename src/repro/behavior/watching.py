@@ -61,6 +61,11 @@ class WatchingDurationModel:
         noisy around the mean.
     """
 
+    #: Caps applied to the preference-driven means (single source of truth
+    #: for both the public accessors and the inlined hot-path sampler).
+    MAX_COMPLETION_PROBABILITY = 0.9
+    MAX_MEAN_WATCHED_FRACTION = 0.95
+
     def __init__(
         self,
         base_mean_fraction: float = 0.25,
@@ -84,11 +89,13 @@ class WatchingDurationModel:
         if preference_weight < 0:
             raise ValueError("preference_weight must be non-negative")
         mean = self.base_mean_fraction * (1.0 + self.preference_gain * preference_weight)
-        return float(min(mean, 0.95))
+        return float(min(mean, self.MAX_MEAN_WATCHED_FRACTION))
 
     def completion_probability(self, preference_weight: float) -> float:
         """Probability the user watches the video to the end."""
-        return float(min(self.completion_probability_gain * preference_weight, 0.9))
+        return float(
+            min(self.completion_probability_gain * preference_weight, self.MAX_COMPLETION_PROBABILITY)
+        )
 
     def sample_watch_duration(
         self,
@@ -99,9 +106,15 @@ class WatchingDurationModel:
         """Sample how many seconds of ``video`` the user watches."""
         rng = rng if rng is not None else np.random.default_rng(0)
         weight = preference.weight(video.category)
-        if rng.random() < self.completion_probability(weight):
+        # Inlined completion_probability / mean_watched_fraction (hot path).
+        if rng.random() < min(
+            self.completion_probability_gain * weight, self.MAX_COMPLETION_PROBABILITY
+        ):
             return float(video.duration_s)
-        mean = self.mean_watched_fraction(weight)
+        mean = min(
+            self.base_mean_fraction * (1.0 + self.preference_gain * weight),
+            self.MAX_MEAN_WATCHED_FRACTION,
+        )
         alpha = mean * self.concentration
         beta = (1.0 - mean) * self.concentration
         fraction = float(rng.beta(alpha, beta))

@@ -32,6 +32,7 @@ from repro.net.multicast import resource_blocks_for_traffic
 from repro.twin.attributes import CHANNEL_CONDITION
 from repro.twin.manager import DigitalTwinManager
 from repro.video.catalog import VideoCatalog
+from repro.video.popularity import sample_index, sampling_cdf
 
 
 @dataclass
@@ -87,7 +88,23 @@ class GroupDemandPredictor:
             catalog, popularity_weight=self.config.recommendation_popularity_weight
         )
         self.transcoder = TranscodingCostModel(cycles_per_pixel=self.config.cycles_per_pixel)
-        self._rng = np.random.default_rng(self.config.seed)
+
+    def _rollout_rng(
+        self, group_id: int, window_start_s: Optional[float]
+    ) -> np.random.Generator:
+        """Deterministic per-call generator derived from ``(seed, group, window)``.
+
+        Drawing every group's rollouts from one shared generator would make a
+        group's prediction depend on how many groups were predicted before
+        it; a per-call generator keyed on the group and window makes
+        predictions order-independent and reproducible.
+        """
+        mask = 0xFFFFFFFFFFFFFFFF
+        window_key = (
+            mask if window_start_s is None else int(round(float(window_start_s) * 1000.0))
+        )
+        entropy = [int(self.config.seed) & mask, int(group_id) & mask, window_key & mask]
+        return np.random.default_rng(np.random.SeedSequence(entropy))
 
     # ---------------------------------------------------------- link state
     def predict_link_state(
@@ -135,14 +152,13 @@ class GroupDemandPredictor:
     def _rollout(
         self,
         profile: GroupSwipingProfile,
-        sampling: Dict[int, float],
+        video_ids: np.ndarray,
+        cumulative_probabilities: np.ndarray,
         representation,
         rng: np.random.Generator,
     ) -> tuple:
         """One Monte-Carlo rollout of the group's shared stream for one interval."""
         config = self.config
-        video_ids = np.array(list(sampling.keys()))
-        probabilities = np.array(list(sampling.values()))
         group_size = len(profile.member_ids)
         kappa = config.beta_concentration
 
@@ -152,7 +168,9 @@ class GroupDemandPredictor:
         engagement = 0.0
         videos = 0
         while now < config.interval_s:
-            video = self.catalog.get(int(rng.choice(video_ids, p=probabilities)))
+            # Inverse-CDF draw against the precomputed cumulative distribution
+            # (rng.choice re-validates the probability vector on every call).
+            video = self.catalog.get(int(video_ids[sample_index(cumulative_probabilities, rng)]))
             category = video.category
             p_swipe = profile.swipe_probability.get(category, 0.5)
             swiped_mean = self._swiped_fraction_mean(profile, category)
@@ -187,12 +205,16 @@ class GroupDemandPredictor:
         efficiency, representation = self.predict_link_state(
             profile.member_ids, twins, window_start_s, window_end_s
         )
-        sampling = self.recommender.sampling_distribution(profile.mean_preference)
+        video_ids, probabilities = self.recommender.sampling_probabilities(
+            profile.mean_preference
+        )
+        cumulative = sampling_cdf(probabilities)
 
+        rng = self._rollout_rng(profile.group_id, window_start_s)
         totals = np.zeros(4)
         for _ in range(config.mc_rollouts):
             totals += np.array(
-                self._rollout(profile, sampling, representation, self._rng)
+                self._rollout(profile, video_ids, cumulative, representation, rng)
             )
         traffic, cycles, engagement, videos = totals / config.mc_rollouts
 
@@ -241,7 +263,28 @@ class GroupDemandPredictor:
         return predictions
 
     @staticmethod
+    def outage_groups(predictions: Mapping[int, GroupDemandPrediction]) -> List[int]:
+        """Groups predicted to be in outage (infinite resource-block demand).
+
+        A zero predicted spectral efficiency with non-zero expected traffic
+        yields ``radio_resource_blocks == inf``; such groups cannot be served
+        by any finite reservation and are surfaced here instead of being
+        folded into :meth:`total_radio_blocks`.
+        """
+        return sorted(
+            group_id
+            for group_id, p in predictions.items()
+            if not np.isfinite(p.radio_resource_blocks)
+        )
+
+    @staticmethod
     def total_radio_blocks(predictions: Mapping[int, GroupDemandPrediction]) -> float:
+        """Sum of predicted resource blocks over groups with *finite* demand.
+
+        Convention: outage groups (``radio_resource_blocks == inf``) are
+        excluded so the total stays a schedulable quantity; they are reported
+        separately via :meth:`outage_groups` rather than silently dropped.
+        """
         finite = [
             p.radio_resource_blocks
             for p in predictions.values()

@@ -47,29 +47,34 @@ class VideoRecommender:
         self.catalog = catalog
         self.popularity_weight = popularity_weight
 
+    def sampling_probabilities(self, preference: PreferenceVector) -> tuple:
+        """``(video_ids, probabilities)`` aligned arrays for one group.
+
+        The per-video popularity/category arrays come from the catalog's
+        version-keyed cache (:meth:`VideoCatalog.sampling_arrays`), shared
+        with the ground-truth simulator.
+        """
+        video_ids, pop, category_indices, categories = self.catalog.sampling_arrays()
+        weights = np.array([preference.weight(category) for category in categories])
+        pref = weights[category_indices]
+        if pref.sum() > 0:
+            pref = pref / pref.sum()
+        mixture = self.popularity_weight * pop + (1.0 - self.popularity_weight) * pref
+        total = mixture.sum()
+        if total <= 0:
+            mixture = np.ones(video_ids.shape[0]) / video_ids.shape[0]
+        else:
+            mixture = mixture / total
+        return video_ids, mixture
+
     def sampling_distribution(self, preference: PreferenceVector) -> Dict[int, float]:
         """Probability of each catalog video being served to a group.
 
         The distribution mixes global popularity with the group's category
         preference; it always sums to one.
         """
-        video_ids = self.catalog.video_ids()
-        popularity = self.catalog.popularity.probabilities()
-        pop = np.array([popularity.get(vid, 0.0) for vid in video_ids])
-        pref = np.array(
-            [preference.weight(self.catalog.get(vid).category) for vid in video_ids]
-        )
-        if pop.sum() > 0:
-            pop = pop / pop.sum()
-        if pref.sum() > 0:
-            pref = pref / pref.sum()
-        mixture = self.popularity_weight * pop + (1.0 - self.popularity_weight) * pref
-        total = mixture.sum()
-        if total <= 0:
-            mixture = np.ones(len(video_ids)) / len(video_ids)
-        else:
-            mixture = mixture / total
-        return dict(zip(video_ids, mixture))
+        video_ids, mixture = self.sampling_probabilities(preference)
+        return dict(zip(video_ids.tolist(), mixture))
 
     def recommend(
         self,

@@ -57,19 +57,18 @@ class TranscodingCostModel:
         self.codec_factor = codec_factor
         self.per_job_overhead_cycles = per_job_overhead_cycles
 
+    def _transcode_cycles(self, source: Representation, target: Representation, duration_s: float) -> float:
+        """The cost formula shared by :meth:`job_cycles` and :meth:`video_cycles`."""
+        if duration_s == 0:
+            return 0.0
+        if target.name == source.name:
+            return self.per_job_overhead_cycles
+        work = self.cycles_per_pixel * target.pixel_rate * duration_s * self.codec_factor
+        return float(work + self.per_job_overhead_cycles)
+
     def job_cycles(self, job: TranscodingJob) -> float:
         """CPU cycles needed for one transcoding job."""
-        if job.duration_s == 0:
-            return 0.0
-        if job.target.name == job.source.name:
-            return self.per_job_overhead_cycles
-        work = (
-            self.cycles_per_pixel
-            * job.target.pixel_rate
-            * job.duration_s
-            * self.codec_factor
-        )
-        return float(work + self.per_job_overhead_cycles)
+        return self._transcode_cycles(job.source, job.target, job.duration_s)
 
     def video_cycles(
         self,
@@ -77,16 +76,18 @@ class TranscodingCostModel:
         target: Representation,
         watched_duration_s: Optional[float] = None,
     ) -> float:
-        """Cycles to transcode (the watched prefix of) ``video`` to ``target``."""
+        """Cycles to transcode (the watched prefix of) ``video`` to ``target``.
+
+        Skips constructing a :class:`TranscodingJob` per call (this sits on
+        the hot path of both the simulator's edge accounting and the demand
+        rollouts) but applies the same downward-transcode validation.
+        """
         duration = video.duration_s if watched_duration_s is None else watched_duration_s
         duration = min(max(duration, 0.0), video.duration_s)
-        job = TranscodingJob(
-            video_id=video.video_id,
-            source=video.ladder.highest,
-            target=target,
-            duration_s=duration,
-        )
-        return self.job_cycles(job)
+        source = video.ladder.highest
+        if target.bitrate_kbps > source.bitrate_kbps:
+            raise ValueError("can only transcode downwards (target above source representation)")
+        return self._transcode_cycles(source, target, duration)
 
     def total_cycles(self, jobs: Iterable[TranscodingJob]) -> float:
         return float(sum(self.job_cycles(job) for job in jobs))

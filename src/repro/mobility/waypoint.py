@@ -4,6 +4,9 @@ The classic random-waypoint model: pick a uniformly random destination in
 the simulation rectangle, move towards it in a straight line at a random
 speed, pause, repeat.  It serves as the unconstrained baseline to the
 campus-graph trajectories and is handy for tests because it needs no graph.
+Legs are shared with the graph walker via
+:class:`~repro.mobility.trajectory.LegMobility`, so batched position
+queries are vectorized here too.
 """
 
 from __future__ import annotations
@@ -13,7 +16,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.mobility.trajectory import MobilityModel, _Leg
+from repro.mobility.trajectory import LegMobility, _Leg
 
 
 @dataclass
@@ -35,7 +38,7 @@ class WaypointConfig:
             raise ValueError("pause_time_s must be non-negative")
 
 
-class RandomWaypointMobility(MobilityModel):
+class RandomWaypointMobility(LegMobility):
     """Random-waypoint movement inside a rectangle."""
 
     def __init__(
@@ -44,6 +47,7 @@ class RandomWaypointMobility(MobilityModel):
         seed: int = 0,
         start_position: Optional[np.ndarray] = None,
     ) -> None:
+        super().__init__()
         self.config = config if config is not None else WaypointConfig()
         self._rng = np.random.default_rng(seed)
         if start_position is None:
@@ -56,8 +60,6 @@ class RandomWaypointMobility(MobilityModel):
         self._last_position = np.asarray(start_position, dtype=np.float64)
         if self._last_position.shape != (2,):
             raise ValueError("start_position must be a 2-D coordinate")
-        self._legs: List[_Leg] = []
-        self._generated_until_s = 0.0
 
     def _extend_until(self, time_s: float) -> None:
         config = self.config
@@ -71,30 +73,20 @@ class RandomWaypointMobility(MobilityModel):
             speed = float(self._rng.uniform(config.min_speed_mps, config.max_speed_mps))
             length = float(np.linalg.norm(destination - self._last_position))
             duration = length / speed if speed > 0 else 0.0
-            move = _Leg(
-                start_time_s=self._generated_until_s,
-                end_time_s=self._generated_until_s + duration,
-                start=self._last_position.copy(),
-                end=destination,
-            )
-            self._legs.append(move)
-            self._generated_until_s = move.end_time_s
-            self._last_position = destination
-            if config.pause_time_s > 0:
-                pause = _Leg(
+            self._push_leg(
+                _Leg(
                     start_time_s=self._generated_until_s,
-                    end_time_s=self._generated_until_s + config.pause_time_s,
-                    start=destination.copy(),
-                    end=destination.copy(),
+                    end_time_s=self._generated_until_s + duration,
+                    start=self._last_position.copy(),
+                    end=destination,
                 )
-                self._legs.append(pause)
-                self._generated_until_s = pause.end_time_s
-
-    def position(self, time_s: float) -> np.ndarray:
-        if time_s < 0:
-            raise ValueError("time_s must be non-negative")
-        self._extend_until(time_s)
-        for leg in self._legs:
-            if leg.start_time_s <= time_s <= leg.end_time_s:
-                return leg.position(time_s)
-        return self._last_position.copy()
+            )
+            if config.pause_time_s > 0:
+                self._push_leg(
+                    _Leg(
+                        start_time_s=self._generated_until_s,
+                        end_time_s=self._generated_until_s + config.pause_time_s,
+                        start=destination.copy(),
+                        end=destination.copy(),
+                    )
+                )

@@ -55,10 +55,22 @@ class BaseStation:
         point = np.asarray(point, dtype=np.float64)
         return float(np.linalg.norm(self.position - point))
 
+    def distances_to(self, points) -> np.ndarray:
+        """Euclidean distance to each row of ``points`` (shape ``(n, 2)``)."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        return np.linalg.norm(self.position[None, :] - points, axis=1)
+
     def mean_snr_db(self, point: Sequence[float]) -> float:
         """Average SNR a user at ``point`` would see from this BS."""
         assert self.channel is not None
         return self.channel.mean_snr_db(self.config.tx_power_dbm, self.distance_to(point))
+
+    def mean_snr_db_batch(self, points) -> np.ndarray:
+        """Vectorized :meth:`mean_snr_db` over ``(n, 2)`` points."""
+        assert self.channel is not None
+        return self.channel.mean_snr_db_batch(
+            self.config.tx_power_dbm, self.distances_to(points)
+        )
 
     def sample_snr_db(
         self, point: Sequence[float], rng: Optional[np.random.Generator] = None
@@ -67,6 +79,26 @@ class BaseStation:
         assert self.channel is not None
         return self.channel.sample_snr_db(
             self.config.tx_power_dbm, self.distance_to(point), rng=rng
+        )
+
+    def sample_snr_db_batch(
+        self,
+        points,
+        rng: Optional[np.random.Generator] = None,
+        interleaved: bool = True,
+    ) -> np.ndarray:
+        """Vectorized :meth:`sample_snr_db` over ``(n, 2)`` points.
+
+        ``interleaved=True`` preserves the exact generator stream a loop of
+        scalar :meth:`sample_snr_db` calls would consume (see
+        :meth:`repro.net.channel.ChannelModel.sample_snr_db_batch`).
+        """
+        assert self.channel is not None
+        return self.channel.sample_snr_db_batch(
+            self.config.tx_power_dbm,
+            self.distances_to(points),
+            rng=rng,
+            interleaved=interleaved,
         )
 
 
@@ -82,9 +114,14 @@ def associate_users(
     if not base_stations:
         raise ValueError("need at least one base station")
     association: Dict[int, List[int]] = {bs.bs_id: [] for bs in base_stations}
-    for user_index, position in enumerate(user_positions):
-        best = max(base_stations, key=lambda bs: bs.mean_snr_db(position))
-        association[best.bs_id].append(user_index)
+    positions = np.asarray(user_positions, dtype=np.float64)
+    if positions.shape[0] == 0:
+        return association
+    # (users, base stations) mean-SNR matrix; argmax keeps the first-best
+    # station, matching max() over the base-station list.
+    snr = np.stack([bs.mean_snr_db_batch(positions) for bs in base_stations], axis=1)
+    for user_index, bs_index in enumerate(np.argmax(snr, axis=1)):
+        association[base_stations[int(bs_index)].bs_id].append(user_index)
     return association
 
 

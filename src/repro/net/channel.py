@@ -73,19 +73,32 @@ class ChannelModel:
         self._rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------ path loss
-    def path_loss_db(self, distance_m: float) -> float:
-        """Log-distance path loss with a free-space reference term."""
+    def _reference_loss_db(self) -> float:
+        """Free-space path loss at the reference distance."""
         config = self.config
-        distance_m = max(float(distance_m), config.min_distance_m)
-        # Free-space path loss at the reference distance.
-        reference_loss = (
+        return (
             20.0 * np.log10(config.reference_distance_m)
             + 20.0 * np.log10(config.carrier_frequency_ghz * 1e9)
             - 147.55
         )
+
+    def path_loss_db(self, distance_m: float) -> float:
+        """Log-distance path loss with a free-space reference term."""
+        config = self.config
+        distance_m = max(float(distance_m), config.min_distance_m)
         return float(
-            reference_loss
+            self._reference_loss_db()
             + 10.0 * config.path_loss_exponent * np.log10(distance_m / config.reference_distance_m)
+        )
+
+    def path_loss_db_batch(self, distances_m) -> np.ndarray:
+        """Vectorized :meth:`path_loss_db` over an array of distances."""
+        config = self.config
+        distances = np.maximum(
+            np.asarray(distances_m, dtype=np.float64), config.min_distance_m
+        )
+        return self._reference_loss_db() + 10.0 * config.path_loss_exponent * np.log10(
+            distances / config.reference_distance_m
         )
 
     # ------------------------------------------------------------------ SNR
@@ -112,6 +125,58 @@ class ChannelModel:
             snr_db += 10.0 * np.log10(fading_gain)
         return float(snr_db)
 
+    def mean_snr_db_batch(self, tx_power_dbm: float, distances_m) -> np.ndarray:
+        """Vectorized :meth:`mean_snr_db` over an array of distances."""
+        received = tx_power_dbm - self.path_loss_db_batch(distances_m)
+        return received - self.config.noise_power_dbm
+
+    def sample_snr_db_batch(
+        self,
+        tx_power_dbm: float,
+        distances_m,
+        rng: Optional[np.random.Generator] = None,
+        interleaved: bool = True,
+    ) -> np.ndarray:
+        """Sample one instantaneous SNR per distance (vectorized hot path).
+
+        With ``interleaved=True`` (the default) the shadowing and fading
+        draws alternate per sample — exactly the stream a loop of
+        :meth:`sample_snr_db` calls consumes — so batched and per-sample
+        sampling produce identical values from the same generator state.
+        ``interleaved=False`` draws each distribution as one array call,
+        which is faster but walks the generator in a different order.
+        """
+        rng = rng if rng is not None else self._rng
+        distances = np.asarray(distances_m, dtype=np.float64).reshape(-1)
+        snr_db = self.mean_snr_db_batch(tx_power_dbm, distances)
+        count = distances.shape[0]
+        if count == 0:
+            return snr_db
+        config = self.config
+        shadowing = config.shadowing_std_db > 0
+        if shadowing and config.rayleigh_fading and interleaved:
+            # standard_normal/standard_exponential walk the generator exactly
+            # like normal(0, std)/exponential(1) but skip per-call argument
+            # processing; scaling by std afterwards is bitwise identical.
+            shadow = np.empty(count)
+            fading = np.empty(count)
+            standard_normal = rng.standard_normal
+            standard_exponential = rng.standard_exponential
+            for i in range(count):
+                shadow[i] = standard_normal()
+                fading[i] = standard_exponential()
+            snr_db = snr_db + config.shadowing_std_db * shadow
+        else:
+            if shadowing:
+                snr_db = snr_db + rng.normal(0.0, config.shadowing_std_db, size=count)
+            fading = (
+                rng.exponential(1.0, size=count) if config.rayleigh_fading else None
+            )
+        if config.rayleigh_fading:
+            fading = np.maximum(fading, 1e-6)
+            snr_db = snr_db + 10.0 * np.log10(fading)
+        return snr_db
+
     def sample_snr_series_db(
         self,
         tx_power_dbm: float,
@@ -120,8 +185,8 @@ class ChannelModel:
     ) -> np.ndarray:
         """Sample one SNR per distance sample (a user's channel-condition trace)."""
         rng = rng if rng is not None else self._rng
-        return np.array(
-            [self.sample_snr_db(tx_power_dbm, d, rng=rng) for d in np.asarray(distances_m)]
+        return np.asarray(
+            self.sample_snr_db_batch(tx_power_dbm, distances_m, rng=rng)
         )
 
     def shannon_rate_bps(self, snr_db: float, bandwidth_hz: Optional[float] = None) -> float:

@@ -36,7 +36,12 @@ def group_spectral_efficiency(
         raise ValueError("a multicast group needs at least one member SNR")
     if not 0.0 <= robustness_percentile < 50.0:
         raise ValueError("robustness_percentile must be in [0, 50)")
-    target_snr = float(np.percentile(snrs, robustness_percentile))
+    if robustness_percentile == 0.0:
+        # Strict worst-user rule: the 0th percentile is the minimum, and
+        # np.min is much cheaper than the general percentile machinery.
+        target_snr = float(snrs.min())
+    else:
+        target_snr = float(np.percentile(snrs, robustness_percentile))
     return spectral_efficiency(target_snr, implementation_loss=implementation_loss)
 
 

@@ -46,6 +46,10 @@ class SimulationConfig:
     stream_bandwidth_hz: float = 1.8e6  # bandwidth assumed per multicast stream
     implementation_loss: float = 0.9
     channel_sample_period_s: float = 5.0
+    #: "compat" draws shadowing/fading per sample in the scalar path's order
+    #: (identical-seed results); "fast" uses whole-array draws (fastest, but
+    #: walks the generator in a different order).
+    channel_draw_mode: str = "compat"
 
     # Edge server.
     cache_capacity_gbytes: float = 8.0
@@ -81,6 +85,8 @@ class SimulationConfig:
             raise ValueError("bandwidths must be positive")
         if self.channel_sample_period_s <= 0:
             raise ValueError("channel_sample_period_s must be positive")
+        if self.channel_draw_mode not in ("compat", "fast"):
+            raise ValueError("channel_draw_mode must be 'compat' or 'fast'")
         if not 0.0 <= self.popularity_update_rate <= 1.0:
             raise ValueError("popularity_update_rate must be in [0, 1]")
         if self.feature_steps <= 0:

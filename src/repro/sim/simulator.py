@@ -43,6 +43,7 @@ from repro.twin.collector import StatusCollector
 from repro.twin.manager import DigitalTwinManager
 from repro.twin.attributes import standard_attributes
 from repro.video.catalog import CatalogConfig, Video, VideoCatalog
+from repro.video.popularity import sample_index, sampling_cdf
 from repro.video.representations import Representation
 
 
@@ -87,7 +88,28 @@ class IntervalResult:
     mean_snr_by_user: Dict[int, float] = field(default_factory=dict)
 
     @property
+    def outage_groups(self) -> List[int]:
+        """Groups whose resource-block demand is infinite (zero efficiency).
+
+        These groups had traffic to deliver but no decodable modulation and
+        coding scheme; no finite resource allocation can serve them, so they
+        are surfaced here instead of being folded into the finite totals.
+        """
+        return sorted(
+            group_id
+            for group_id, usage in self.usage_by_group.items()
+            if not np.isfinite(usage.resource_blocks)
+        )
+
+    @property
     def total_resource_blocks(self) -> float:
+        """Sum of resource blocks over groups with *finite* demand.
+
+        Convention: outage groups (``resource_blocks == inf``) are excluded
+        from this total so it stays a meaningful, schedulable quantity; they
+        are reported separately via :attr:`outage_groups` rather than
+        silently dropped.
+        """
         finite = [
             usage.resource_blocks
             for usage in self.usage_by_group.values()
@@ -189,7 +211,11 @@ class StreamingSimulator:
             attributes=standard_attributes(num_categories=len(config.categories))
         )
         self.twins.register_users(self.users.keys())
-        self.collector = StatusCollector(policy=config.collection_policy, seed=config.seed + 7)
+        self.collector = StatusCollector(
+            policy=config.collection_policy,
+            seed=config.seed + 7,
+            interleaved_snr_draws=config.channel_draw_mode == "compat",
+        )
 
         # Behaviour and bookkeeping.
         self.watching_model = WatchingDurationModel()
@@ -248,11 +274,22 @@ class StreamingSimulator:
             self.twins.remove_user(user_id)
 
     def _associate_users(self, time_s: float) -> None:
-        """Re-associate every user with their strongest base station."""
-        for user in self.users.values():
-            position = user.mobility.position(time_s)
-            best = max(self.base_stations, key=lambda bs: bs.mean_snr_db(position))
-            user.serving_bs_id = best.bs_id
+        """Re-associate every user with their strongest base station.
+
+        One mean-SNR evaluation per base station over the whole population
+        (vectorized), instead of one Python call per (user, base station).
+        """
+        users = list(self.users.values())
+        if not users:
+            return
+        positions = np.array([user.mobility.position(time_s) for user in users])
+        # (users, base stations); argmax keeps the first-best station,
+        # matching max() over the base-station list.
+        snr = np.stack(
+            [bs.mean_snr_db_batch(positions) for bs in self.base_stations], axis=1
+        )
+        for user, bs_index in zip(users, np.argmax(snr, axis=1)):
+            user.serving_bs_id = self.base_stations[int(bs_index)].bs_id
 
     def _base_station(self, bs_id: int) -> BaseStation:
         for bs in self.base_stations:
@@ -264,17 +301,24 @@ class StreamingSimulator:
     def sample_member_snrs(
         self, member_ids: Sequence[int], start_s: float, end_s: float
     ) -> Dict[int, np.ndarray]:
-        """Sample each member's SNR trace over ``[start_s, end_s)``."""
+        """Sample each member's SNR trace over ``[start_s, end_s)``.
+
+        Vectorized: one batched position query and one batched SNR sampling
+        call per member (instead of one Python call per channel sample).
+        The batched sampler consumes the shared generator in the exact
+        per-sample order of the scalar path, so results are identical for
+        identical seeds.
+        """
         times = np.arange(start_s, end_s, self.config.channel_sample_period_s)
+        interleaved = self.config.channel_draw_mode == "compat"
         snrs: Dict[int, np.ndarray] = {}
         for user_id in member_ids:
             user = self.users[user_id]
             bs = self._base_station(user.serving_bs_id)
-            samples = []
-            for t in times:
-                position = user.mobility.position(float(t))
-                samples.append(bs.sample_snr_db(position, rng=self._rng))
-            snrs[user_id] = np.array(samples)
+            positions = user.mobility.positions(times)
+            snrs[user_id] = bs.sample_snr_db_batch(
+                positions, rng=self._rng, interleaved=interleaved
+            )
         return snrs
 
     def group_link_state(
@@ -301,14 +345,10 @@ class StreamingSimulator:
         return PreferenceVector(dict(zip(categories, mean)), categories=categories)
 
     def _video_sampling_probabilities(self, group_preference: PreferenceVector) -> np.ndarray:
-        video_ids = self.catalog.video_ids()
-        popularity = self.catalog.popularity.probabilities()
-        pop = np.array([popularity.get(vid, 0.0) for vid in video_ids])
-        pref = np.array(
-            [group_preference.weight(self.catalog.get(vid).category) for vid in video_ids]
-        )
-        if pop.sum() > 0:
-            pop = pop / pop.sum()
+        _, pop, category_indices, categories = self.catalog.sampling_arrays()
+        # One weight lookup per *category*, gathered out to per-video scores.
+        weights = np.array([group_preference.weight(category) for category in categories])
+        pref = weights[category_indices]
         if pref.sum() > 0:
             pref = pref / pref.sum()
         w = self.config.recommendation_popularity_weight
@@ -362,6 +402,7 @@ class StreamingSimulator:
         result.events_by_user = events_by_user
         self.history.append(result)
         self.metrics.record("radio.total_resource_blocks", result.total_resource_blocks)
+        self.metrics.record("radio.outage_groups", float(len(result.outage_groups)))
         self.metrics.record("compute.total_cycles", result.total_computing_cycles)
         self.metrics.record("traffic.total_bits", result.total_traffic_bits)
         self.clock.advance_interval()
@@ -414,7 +455,11 @@ class StreamingSimulator:
         """Play the shared multicast stream of one group for one interval."""
         group_preference = self._group_preference(member_ids)
         probabilities = self._video_sampling_probabilities(group_preference)
-        video_ids = self.catalog.video_ids()
+        video_ids = self.catalog.sampling_arrays()[0]
+        # One cumulative distribution per group instead of re-validating the
+        # probability vector per draw; each draw consumes exactly one
+        # uniform, like Generator.choice(p=...) does.
+        cdf = sampling_cdf(probabilities)
 
         now = start_s
         traffic_bits = 0.0
@@ -422,7 +467,7 @@ class StreamingSimulator:
         engagement_seconds = 0.0
         requests: List[tuple] = []
         while now < end_s:
-            video = self.catalog.get(int(self._rng.choice(video_ids, p=probabilities)))
+            video = self.catalog.get(int(video_ids[sample_index(cdf, self._rng)]))
             member_durations: Dict[int, float] = {}
             for uid in member_ids:
                 duration = self.watching_model.sample_watch_duration(
@@ -432,6 +477,10 @@ class StreamingSimulator:
             transmitted = max(member_durations.values())
             transmitted = min(transmitted, end_s - now)
             for uid, duration in member_durations.items():
+                # `swiped` reflects the user's *intended* (uncapped) duration:
+                # a watch cut short only by the interval boundary is not a
+                # swipe.  Engagement and traffic still use the capped time.
+                swiped = duration < video.duration_s - 1e-9
                 duration = min(duration, end_s - now)
                 record = WatchRecord(
                     user_id=uid,
@@ -439,7 +488,7 @@ class StreamingSimulator:
                     category=video.category,
                     watch_duration_s=duration,
                     video_duration_s=video.duration_s,
-                    swiped=duration < video.duration_s - 1e-9,
+                    swiped=swiped,
                     timestamp_s=now,
                 )
                 events_by_user[uid].append(ViewingEvent(record=record, start_time_s=now))

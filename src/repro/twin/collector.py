@@ -63,9 +63,13 @@ class StatusCollector:
         self,
         policy: Optional[CollectionPolicy] = None,
         seed: int = 0,
+        interleaved_snr_draws: bool = True,
     ) -> None:
         self.policy = policy if policy is not None else CollectionPolicy.perfect()
         self._rng = np.random.default_rng(seed)
+        #: Whether batched SNR sampling preserves the scalar per-sample draw
+        #: order of the shared generator (see ChannelModel.sample_snr_db_batch).
+        self.interleaved_snr_draws = interleaved_snr_draws
 
     # ------------------------------------------------------------ sampling
     def _keep_sample(self) -> bool:
@@ -73,11 +77,26 @@ class StatusCollector:
             return True
         return self._rng.random() >= self.policy.drop_probability
 
+    def _keep_mask(self, count: int) -> np.ndarray:
+        """Vectorized :meth:`_keep_sample`: one boolean per sample.
+
+        Draws the same generator values a loop of scalar calls would, and
+        draws nothing at all when samples are never dropped.
+        """
+        if self.policy.drop_probability == 0.0:
+            return np.ones(count, dtype=bool)
+        return self._rng.random(count) >= self.policy.drop_probability
+
     def _sample_times(self, start_s: float, end_s: float, period_s: float) -> np.ndarray:
         effective_period = period_s * self.policy.period_multiplier
         if effective_period >= end_s - start_s:
             return np.array([start_s])
         return np.arange(start_s, end_s, effective_period)
+
+    def _kept_times(self, udt: UserDigitalTwin, attribute: str, start_s: float, end_s: float) -> np.ndarray:
+        spec = udt.attributes[attribute]
+        times = self._sample_times(start_s, end_s, spec.collection_period_s)
+        return times[self._keep_mask(times.shape[0])]
 
     def collect_interval(
         self,
@@ -90,7 +109,12 @@ class StatusCollector:
         end_s: float,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
-        """Collect one reservation interval's worth of status for one user."""
+        """Collect one reservation interval's worth of status for one user.
+
+        Each attribute is collected as one batched position/SNR evaluation
+        and one bulk append into the twin's time-series store, instead of a
+        Python loop over individual samples.
+        """
         if end_s <= start_s:
             raise ValueError("end_s must be greater than start_s")
         rng = rng if rng is not None else self._rng
@@ -98,31 +122,32 @@ class StatusCollector:
 
         # Channel condition: sample SNR at the attribute's own frequency.
         if CHANNEL_CONDITION in udt.attributes:
-            spec = udt.attributes[CHANNEL_CONDITION]
-            for t in self._sample_times(start_s, end_s, spec.collection_period_s):
-                if not self._keep_sample():
-                    continue
-                position = mobility.position(float(t))
-                snr_db = base_station.sample_snr_db(position, rng=rng)
-                udt.record(CHANNEL_CONDITION, float(t) + delay, [snr_db])
+            times = self._kept_times(udt, CHANNEL_CONDITION, start_s, end_s)
+            if times.size:
+                positions = mobility.positions(times)
+                snrs = base_station.sample_snr_db_batch(
+                    positions, rng=rng, interleaved=self.interleaved_snr_draws
+                )
+                udt.record_batch(CHANNEL_CONDITION, times + delay, snrs[:, None])
 
         # Location.
         if LOCATION in udt.attributes:
-            spec = udt.attributes[LOCATION]
-            for t in self._sample_times(start_s, end_s, spec.collection_period_s):
-                if not self._keep_sample():
-                    continue
-                udt.record(LOCATION, float(t) + delay, mobility.position(float(t)))
+            times = self._kept_times(udt, LOCATION, start_s, end_s)
+            if times.size:
+                udt.record_batch(LOCATION, times + delay, mobility.positions(times))
 
         # Watch records (and the mirrored watching-duration series).
-        for event in events:
-            if not self._keep_sample():
-                continue
-            udt.record_watch(event.record)
+        if events:
+            if self.policy.drop_probability == 0.0:
+                kept_records = [event.record for event in events]
+            else:
+                kept_records = [
+                    event.record for event in events if self._keep_sample()
+                ]
+            udt.record_watches(kept_records)
 
         # Preference snapshots.
         if PREFERENCE in udt.attributes:
-            spec = udt.attributes[PREFERENCE]
             vector = preference.as_array()
             expected_dim = udt.attributes[PREFERENCE].dimension
             if vector.shape[0] != expected_dim:
@@ -130,7 +155,8 @@ class StatusCollector:
                     f"preference dimension {vector.shape[0]} does not match the UDT "
                     f"attribute dimension {expected_dim}"
                 )
-            for t in self._sample_times(start_s, end_s, spec.collection_period_s):
-                if not self._keep_sample():
-                    continue
-                udt.record(PREFERENCE, float(t) + delay, vector)
+            times = self._kept_times(udt, PREFERENCE, start_s, end_s)
+            if times.size:
+                udt.record_batch(
+                    PREFERENCE, times + delay, np.tile(vector, (times.shape[0], 1))
+                )

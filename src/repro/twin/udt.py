@@ -63,6 +63,10 @@ class UserDigitalTwin:
         """Append one sample of ``attribute``."""
         self.store(attribute).append(timestamp_s, value)
 
+    def record_batch(self, attribute: str, timestamps_s, values) -> int:
+        """Append many samples of ``attribute`` at once (bulk buffer copy)."""
+        return self.store(attribute).append_batch(timestamps_s, values)
+
     def record_watch(self, record: WatchRecord) -> None:
         """Store a watch record and mirror its duration into the time series."""
         if record.user_id != self.user_id:
@@ -73,9 +77,29 @@ class UserDigitalTwin:
         if WATCHING_DURATION in self._stores:
             store = self._stores[WATCHING_DURATION]
             timestamp = record.timestamp_s
-            if len(store) and timestamp < store.latest().timestamp_s:
-                timestamp = store.latest().timestamp_s
+            if len(store):
+                timestamp = max(timestamp, store.latest_timestamp_s())
             store.append(timestamp, [record.watch_duration_s])
+
+    def record_watches(self, records: Sequence[WatchRecord]) -> None:
+        """Batch :meth:`record_watch`: one bulk append into the duration series."""
+        for record in records:
+            if record.user_id != self.user_id:
+                raise ValueError(
+                    f"watch record of user {record.user_id} pushed to UDT of user {self.user_id}"
+                )
+        if not records:
+            return
+        self._watch_records.extend(records)
+        if WATCHING_DURATION in self._stores:
+            store = self._stores[WATCHING_DURATION]
+            timestamps = np.array([record.timestamp_s for record in records])
+            if len(store):
+                timestamps[0] = max(timestamps[0], store.latest_timestamp_s())
+            # Running maximum = the per-record clamp record_watch applies.
+            np.maximum.accumulate(timestamps, out=timestamps)
+            durations = np.array([[record.watch_duration_s] for record in records])
+            store.append_batch(timestamps, durations)
 
     # -------------------------------------------------------------- queries
     def staleness_s(self, attribute: str, now_s: float) -> float:

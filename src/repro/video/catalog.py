@@ -8,6 +8,7 @@ short-video-streaming-challenge dataset the paper uses.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence
 
@@ -33,6 +34,8 @@ class Video:
     segment_duration_s: float
     ladder: RepresentationLadder
     segment_sizes: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: Memoized (representation name, segment count) -> prefix size in bits.
+    _prefix_bits_cache: Dict = field(default_factory=dict, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -75,9 +78,14 @@ class Video:
         if watch_duration_s < 0:
             raise ValueError("watch_duration_s must be non-negative")
         watch_duration_s = min(watch_duration_s, self.duration_s)
-        segments_needed = int(np.ceil(watch_duration_s / self.segment_duration_s))
-        sizes = self.sizes_for(representation)
-        return float(sizes[:segments_needed].sum())
+        segments_needed = math.ceil(watch_duration_s / self.segment_duration_s)
+        key = (representation.name, segments_needed)
+        cached = self._prefix_bits_cache.get(key)
+        if cached is None:
+            sizes = self.sizes_for(representation)
+            cached = float(sizes[:segments_needed].sum())
+            self._prefix_bits_cache[key] = cached
+        return cached
 
 
 @dataclass
@@ -125,6 +133,41 @@ class VideoCatalog:
             if popularity is not None
             else ZipfPopularity(list(self._videos.keys()), exponent=zipf_exponent)
         )
+        self._sampling_cache: Optional[tuple] = None
+
+    # ------------------------------------------------------------- sampling
+    def sampling_arrays(self) -> tuple:
+        """Cached per-video arrays for popularity/preference sampling.
+
+        Returns ``(video_ids, normalized_popularity, category_indices,
+        categories)`` where the first three are aligned per-video arrays and
+        ``categories`` is the tuple the index array points into.  Rebuilding
+        these from the Python-dict popularity model is only done when the
+        model actually changed (tracked via its ``version`` counter), so the
+        simulator and the recommender share one cache instead of rebuilding
+        per group per interval.
+        """
+        version = getattr(self.popularity, "version", None)
+        cache = self._sampling_cache
+        if cache is not None and version is not None and cache[0] == version:
+            return cache[1]
+        video_id_list = self.video_ids()
+        popularity = self.popularity.probabilities()
+        pop = np.array([popularity.get(vid, 0.0) for vid in video_id_list])
+        if pop.sum() > 0:
+            pop = pop / pop.sum()
+        categories: List[str] = []
+        category_index: Dict[str, int] = {}
+        indices = np.empty(len(video_id_list), dtype=np.intp)
+        for row, vid in enumerate(video_id_list):
+            category = self._videos[vid].category
+            if category not in category_index:
+                category_index[category] = len(categories)
+                categories.append(category)
+            indices[row] = category_index[category]
+        arrays = (np.array(video_id_list), pop, indices, tuple(categories))
+        self._sampling_cache = (version, arrays)
+        return arrays
 
     # ------------------------------------------------------------ accessors
     def __len__(self) -> int:

@@ -15,6 +15,25 @@ from typing import Dict, Iterable, Mapping, Optional, Sequence
 import numpy as np
 
 
+def sampling_cdf(probabilities: np.ndarray) -> np.ndarray:
+    """Normalised cumulative distribution for inverse-CDF sampling.
+
+    Mirrors ``Generator.choice(p=...)``'s internal cdf (cumsum then divide by
+    the last entry), so drawing with :func:`sample_index` consumes exactly
+    one uniform and selects the same item ``choice`` would.
+    """
+    cdf = np.cumsum(np.asarray(probabilities, dtype=np.float64))
+    if cdf.shape[0] == 0 or cdf[-1] <= 0:
+        raise ValueError("probabilities must be non-empty with a positive sum")
+    cdf /= cdf[-1]
+    return cdf
+
+
+def sample_index(cdf: np.ndarray, rng: "np.random.Generator") -> int:
+    """Draw one index from a cdf built by :func:`sampling_cdf`."""
+    return min(int(cdf.searchsorted(rng.random(), side="right")), cdf.shape[0] - 1)
+
+
 def zipf_weights(num_items: int, exponent: float = 1.0) -> np.ndarray:
     """Normalised Zipf weights for ranks ``1..num_items``.
 
@@ -78,6 +97,16 @@ class ZipfPopularity(PopularityModel):
         self.exponent = exponent
         self.engagement_learning_rate = engagement_learning_rate
         self._weights = zipf_weights(len(video_ids), exponent)
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped whenever the distribution changes.
+
+        Callers cache derived arrays (e.g. per-video probability vectors)
+        keyed on this counter instead of rebuilding them per query.
+        """
+        return self._version
 
     def probabilities(self) -> Dict[int, float]:
         return {vid: float(w) for vid, w in zip(self._video_ids, self._weights)}
@@ -97,12 +126,14 @@ class ZipfPopularity(PopularityModel):
         lr = self.engagement_learning_rate
         blended = (1.0 - lr) * self._weights + lr * observed
         self._weights = blended / blended.sum()
+        self._version += 1
 
     def resample_ranking(self, rng: Optional[np.random.Generator] = None) -> None:
         """Shuffle which video occupies which popularity rank (keeps weights)."""
         rng = rng if rng is not None else np.random.default_rng(0)
         order = rng.permutation(len(self._video_ids))
         self._video_ids = [self._video_ids[i] for i in order]
+        self._version += 1
 
 
 def category_popularity(

@@ -1,0 +1,390 @@
+"""Regression tests for the vectorized simulation engine and its bugfixes.
+
+Covers four things:
+
+* equivalence of the array-backed :class:`TimeSeriesStore` with the original
+  list-of-dataclasses implementation (kept here as a reference),
+* equivalence of batched mobility/SNR sampling with the scalar code paths on
+  identical seeds, including a pinned-golden end-to-end run of the engine,
+* the swipe-truncation bugfix (a watch cut short only by the interval
+  boundary is not a swipe),
+* the outage-accounting bugfix (infinite-demand groups are surfaced, not
+  silently dropped) and the order-independence of group demand predictions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SimulationConfig, StreamingSimulator
+from repro.behavior.preference import PreferenceVector
+from repro.behavior.watching import WatchRecord
+from repro.core.demand import DemandPredictorConfig, GroupDemandPredictor, GroupDemandPrediction
+from repro.mobility.campus import CampusConfig, CampusMap
+from repro.mobility.trajectory import GraphTrajectoryMobility, StaticMobility
+from repro.mobility.waypoint import RandomWaypointMobility, WaypointConfig
+from repro.net.basestation import BaseStation
+from repro.sim.simulator import GroupIntervalUsage, IntervalResult, singleton_grouping
+from repro.twin.attributes import CHANNEL_CONDITION, PREFERENCE, standard_attributes
+from repro.twin.manager import DigitalTwinManager
+from repro.twin.timeseries import TimeSeriesStore
+from repro.video.catalog import CatalogConfig, VideoCatalog
+
+
+class ReferenceStore:
+    """The original list-backed TimeSeriesStore semantics (pre-vectorization)."""
+
+    def __init__(self, dimension, max_samples=None):
+        self.dimension = dimension
+        self.max_samples = max_samples
+        self._samples = []
+
+    def append(self, timestamp_s, value):
+        value = np.atleast_1d(np.asarray(value, dtype=np.float64))
+        if self._samples and timestamp_s < self._samples[-1][0]:
+            raise ValueError("timestamps must be non-decreasing")
+        self._samples.append((float(timestamp_s), value))
+        if self.max_samples is not None and len(self._samples) > self.max_samples:
+            del self._samples[: len(self._samples) - self.max_samples]
+
+    def timestamps(self):
+        return np.array([t for t, _ in self._samples])
+
+    def values(self):
+        if not self._samples:
+            return np.zeros((0, self.dimension))
+        return np.vstack([v for _, v in self._samples])
+
+    def window_values(self, start_s, end_s):
+        rows = [v for t, v in self._samples if start_s <= t < end_s]
+        if not rows:
+            return np.zeros((0, self.dimension))
+        return np.vstack(rows)
+
+    def resample(self, times_s):
+        times = np.asarray(times_s, dtype=np.float64)
+        if not self._samples:
+            return np.zeros((times.shape[0], self.dimension))
+        sample_times = self.timestamps()
+        values = self.values()
+        indices = np.searchsorted(sample_times, times, side="right") - 1
+        indices = np.clip(indices, 0, len(self._samples) - 1)
+        return values[indices]
+
+    def mean(self, start_s=None, end_s=None):
+        if start_s is None and end_s is None:
+            values = self.values()
+        else:
+            values = self.window_values(
+                start_s if start_s is not None else -np.inf,
+                end_s if end_s is not None else np.inf,
+            )
+        if values.shape[0] == 0:
+            return np.zeros(self.dimension)
+        return values.mean(axis=0)
+
+
+class TestTimeSeriesStoreEquivalence:
+    @pytest.mark.parametrize("max_samples", [None, 7])
+    def test_random_workload_matches_reference(self, max_samples):
+        rng = np.random.default_rng(42)
+        store = TimeSeriesStore(dimension=3, max_samples=max_samples)
+        reference = ReferenceStore(dimension=3, max_samples=max_samples)
+        t = 0.0
+        for _ in range(200):
+            t += float(rng.uniform(0.0, 2.0))
+            value = rng.normal(size=3)
+            store.append(t, value)
+            reference.append(t, value)
+        np.testing.assert_array_equal(store.timestamps(), reference.timestamps())
+        np.testing.assert_array_equal(store.values(), reference.values())
+        for lo, hi in [(0.0, t), (t / 3, 2 * t / 3), (t, t), (t + 1, t + 2)]:
+            np.testing.assert_array_equal(
+                store.window_values(lo, hi), reference.window_values(lo, hi)
+            )
+            np.testing.assert_array_equal(store.mean(lo, hi), reference.mean(lo, hi))
+        grid = np.linspace(-1.0, t + 5.0, 57)
+        np.testing.assert_array_equal(store.resample(grid), reference.resample(grid))
+        np.testing.assert_array_equal(store.mean(), reference.mean())
+
+    def test_append_batch_matches_sequential_appends(self):
+        rng = np.random.default_rng(1)
+        timestamps = np.cumsum(rng.uniform(0.0, 1.0, size=50))
+        values = rng.normal(size=(50, 2))
+        sequential = TimeSeriesStore(dimension=2, max_samples=20)
+        batched = TimeSeriesStore(dimension=2, max_samples=20)
+        for t, v in zip(timestamps, values):
+            sequential.append(t, v)
+        batched.append_batch(timestamps, values)
+        np.testing.assert_array_equal(sequential.timestamps(), batched.timestamps())
+        np.testing.assert_array_equal(sequential.values(), batched.values())
+        assert len(batched) == 20
+
+    def test_append_batch_rejects_unsorted_or_stale_timestamps(self):
+        store = TimeSeriesStore(dimension=1)
+        with pytest.raises(ValueError):
+            store.append_batch([1.0, 0.5], [[1.0], [2.0]])
+        store.append(5.0, [1.0])
+        with pytest.raises(ValueError):
+            store.append_batch([4.0], [[1.0]])
+        assert store.append_batch([], np.zeros((0, 1))) == 0
+
+    def test_window_objects_and_latest(self):
+        store = TimeSeriesStore(dimension=2)
+        for t in range(6):
+            store.append(float(t), [float(t), -float(t)])
+        window = store.window(1.0, 4.0)
+        assert [s.timestamp_s for s in window] == [1.0, 2.0, 3.0]
+        np.testing.assert_array_equal(window[0].value, [1.0, -1.0])
+        assert store.latest().timestamp_s == 5.0
+        assert store.latest_timestamp_s() == 5.0
+
+
+class TestBatchedSamplingEquivalence:
+    def _campus(self):
+        return CampusMap.generate(CampusConfig(num_buildings=8, seed=3))
+
+    def test_graph_mobility_positions_match_scalar(self):
+        campus = self._campus()
+        batched = GraphTrajectoryMobility(campus, seed=11)
+        scalar = GraphTrajectoryMobility(campus, seed=11)
+        times = np.linspace(0.0, 900.0, 301)
+        batch = batched.positions(times)
+        single = np.array([scalar.position(float(t)) for t in times])
+        np.testing.assert_array_equal(batch, single)
+
+    def test_waypoint_positions_match_scalar(self):
+        config = WaypointConfig(pause_time_s=0.0)
+        batched = RandomWaypointMobility(config, seed=5)
+        scalar = RandomWaypointMobility(config, seed=5)
+        times = np.linspace(0.0, 600.0, 173)
+        np.testing.assert_array_equal(
+            batched.positions(times),
+            np.array([scalar.position(float(t)) for t in times]),
+        )
+
+    def test_static_positions(self):
+        model = StaticMobility([3.0, 4.0])
+        np.testing.assert_array_equal(
+            model.positions([0.0, 10.0]), [[3.0, 4.0], [3.0, 4.0]]
+        )
+
+    def test_batched_snr_matches_scalar_on_identical_seed(self):
+        bs = BaseStation(bs_id=0, position=np.array([100.0, 100.0]))
+        points = np.random.default_rng(0).uniform(0.0, 500.0, size=(64, 2))
+        batch = bs.sample_snr_db_batch(points, rng=np.random.default_rng(99))
+        scalar_rng = np.random.default_rng(99)
+        scalar = np.array([bs.sample_snr_db(p, rng=scalar_rng) for p in points])
+        np.testing.assert_array_equal(batch, scalar)
+        np.testing.assert_array_equal(bs.mean_snr_db_batch(points),
+                                      [bs.mean_snr_db(p) for p in points])
+
+    def test_fast_draw_mode_same_distribution_shape(self):
+        bs = BaseStation(bs_id=0, position=np.array([0.0, 0.0]))
+        points = np.tile([50.0, 50.0], (2000, 1))
+        fast = bs.sample_snr_db_batch(points, rng=np.random.default_rng(7), interleaved=False)
+        compat = bs.sample_snr_db_batch(points, rng=np.random.default_rng(7), interleaved=True)
+        assert fast.shape == compat.shape == (2000,)
+        # Same channel statistics, different draw order.
+        assert abs(fast.mean() - compat.mean()) < 1.5
+
+    def test_engine_reproduces_pre_vectorization_goldens(self):
+        """Pinned totals from the pre-PR (scalar) engine at seed 123."""
+        golden = [
+            (4853309398.459395, 46.2416329383978, 3750000000.0, 33.890142501531166),
+            (4810114310.563096, 44.54495539130707, 3550000000.0, 44.23474695752724),
+        ]
+        sim = StreamingSimulator(
+            SimulationConfig(
+                num_users=8, num_videos=40, num_intervals=2, interval_s=120.0, seed=123
+            )
+        )
+        for expected in golden:
+            result = sim.run_interval(singleton_grouping(sim.user_ids()))
+            observed = (
+                result.total_traffic_bits,
+                result.total_resource_blocks,
+                result.total_computing_cycles,
+                result.mean_snr_by_user[0],
+            )
+            assert observed == expected
+
+
+class TestSwipeTruncationFix:
+    def test_boundary_truncated_completion_is_not_a_swipe(self):
+        sim = StreamingSimulator(
+            SimulationConfig(num_users=3, num_videos=10, num_intervals=1, interval_s=45.0, seed=5)
+        )
+        # Every user intends to watch to the very end; anything shorter in the
+        # records can only come from the interval boundary cap.
+        sim.watching_model.sample_watch_duration = (
+            lambda video, preference, rng: float(video.duration_s)
+        )
+        result = sim.run_interval(singleton_grouping(sim.user_ids()))
+        records = [e.record for events in result.events_by_user.values() for e in events]
+        assert records
+        truncated = [
+            r for r in records if r.watch_duration_s < r.video_duration_s - 1e-9
+        ]
+        assert truncated, "expected at least one boundary-truncated watch"
+        assert all(not r.swiped for r in records), (
+            "a watch truncated only by the interval boundary must not count as a swipe"
+        )
+
+    def test_intended_short_watch_is_still_a_swipe(self):
+        sim = StreamingSimulator(
+            SimulationConfig(num_users=2, num_videos=10, num_intervals=1, interval_s=200.0, seed=5)
+        )
+        sim.watching_model.sample_watch_duration = (
+            lambda video, preference, rng: float(video.duration_s) * 0.25
+        )
+        result = sim.run_interval(singleton_grouping(sim.user_ids()))
+        records = [e.record for events in result.events_by_user.values() for e in events]
+        assert records
+        # All intended durations are strictly below the video duration.
+        assert all(r.swiped for r in records)
+
+
+def _usage(group_id, blocks):
+    return GroupIntervalUsage(
+        group_id=group_id,
+        member_ids=[group_id],
+        traffic_bits=1e6,
+        efficiency_bps_hz=0.0 if not np.isfinite(blocks) else 2.0,
+        representation_name="r",
+        resource_blocks=blocks,
+        computing_cycles=1e9,
+        videos_played=3,
+        engagement_seconds=30.0,
+    )
+
+
+class TestOutageAccounting:
+    def test_interval_result_surfaces_outage_groups(self):
+        result = IntervalResult(interval_index=0, start_s=0.0, end_s=300.0)
+        result.usage_by_group[0] = _usage(0, 12.5)
+        result.usage_by_group[1] = _usage(1, float("inf"))
+        result.usage_by_group[2] = _usage(2, 7.5)
+        assert result.outage_groups == [1]
+        assert result.total_resource_blocks == pytest.approx(20.0)
+
+    def test_no_outage_groups_in_normal_interval(self):
+        result = IntervalResult(interval_index=0, start_s=0.0, end_s=300.0)
+        result.usage_by_group[0] = _usage(0, 3.0)
+        assert result.outage_groups == []
+
+    def test_prediction_outage_groups(self):
+        def prediction(group_id, blocks):
+            return GroupDemandPrediction(
+                group_id=group_id,
+                member_ids=[group_id],
+                expected_traffic_bits=1e6,
+                expected_engagement_s=10.0,
+                expected_videos=2.0,
+                radio_resource_blocks=blocks,
+                computing_cycles=1e9,
+                efficiency_bps_hz=0.0 if not np.isfinite(blocks) else 1.0,
+                representation_name="r",
+            )
+
+        predictions = {0: prediction(0, 4.0), 1: prediction(1, float("inf"))}
+        assert GroupDemandPredictor.outage_groups(predictions) == [1]
+        assert GroupDemandPredictor.total_radio_blocks(predictions) == pytest.approx(4.0)
+
+    def test_simulator_records_outage_metric(self):
+        sim = StreamingSimulator(
+            SimulationConfig(num_users=2, num_videos=10, num_intervals=1, interval_s=30.0, seed=0)
+        )
+        sim.run_interval(singleton_grouping(sim.user_ids()))
+        assert "radio.outage_groups" in sim.metrics.names()
+
+
+class TestPredictionOrderIndependence:
+    def _twins(self):
+        categories = ("News", "Game", "Music", "Sports")
+        twins = DigitalTwinManager(attributes=standard_attributes(num_categories=4))
+        rng = np.random.default_rng(17)
+        for uid in range(4):
+            twin = twins.register_user(uid)
+            for step in range(20):
+                t = float(step * 15)
+                twin.record(CHANNEL_CONDITION, t, [20.0 + rng.normal()])
+            twin.record(PREFERENCE, 0.0, [0.4, 0.3, 0.2, 0.1])
+            for k in range(12):
+                category = categories[k % 4]
+                twin.record_watch(
+                    WatchRecord(
+                        user_id=uid,
+                        video_id=k,
+                        category=category,
+                        watch_duration_s=5.0 + k,
+                        video_duration_s=30.0,
+                        swiped=k % 3 != 0,
+                        timestamp_s=float(k * 20),
+                    )
+                )
+        return twins, categories
+
+    def _predictor(self):
+        catalog = VideoCatalog.generate(CatalogConfig(num_videos=30, seed=2))
+        return GroupDemandPredictor(
+            catalog, DemandPredictorConfig(interval_s=120.0, mc_rollouts=6, seed=9)
+        )
+
+    def test_prediction_invariant_under_group_order(self):
+        twins, categories = self._twins()
+        predictor = self._predictor()
+        forward = predictor.predict_groups(
+            {0: [0, 1], 1: [2, 3]}, twins, categories, window_start_s=0.0, window_end_s=300.0
+        )
+        backward = predictor.predict_groups(
+            {1: [2, 3], 0: [0, 1]}, twins, categories, window_start_s=0.0, window_end_s=300.0
+        )
+        for group_id in (0, 1):
+            a, b = forward[group_id], backward[group_id]
+            assert a.expected_traffic_bits == b.expected_traffic_bits
+            assert a.expected_engagement_s == b.expected_engagement_s
+            assert a.expected_videos == b.expected_videos
+            assert a.radio_resource_blocks == b.radio_resource_blocks
+            assert a.computing_cycles == b.computing_cycles
+
+    def test_prediction_reproducible_across_predictor_instances(self):
+        twins, categories = self._twins()
+        first = self._predictor().predict_groups(
+            {0: [0, 1], 1: [2, 3]}, twins, categories, window_start_s=0.0, window_end_s=300.0
+        )
+        second = self._predictor().predict_groups(
+            {0: [0, 1], 1: [2, 3]}, twins, categories, window_start_s=0.0, window_end_s=300.0
+        )
+        for group_id in (0, 1):
+            assert (
+                first[group_id].expected_traffic_bits
+                == second[group_id].expected_traffic_bits
+            )
+
+
+class TestCollectorBatchEquivalence:
+    def test_record_watches_matches_record_watch_loop(self):
+        from repro.twin.udt import UserDigitalTwin
+
+        records = [
+            WatchRecord(0, k, "News", 3.0 + k, 30.0, swiped=True, timestamp_s=float(10 - k))
+            for k in range(5)
+        ]
+        one = UserDigitalTwin(0)
+        two = UserDigitalTwin(0)
+        for record in records:
+            one.record_watch(record)
+        two.record_watches(records)
+        assert one.watch_records() == two.watch_records()
+        from repro.twin.attributes import WATCHING_DURATION
+
+        np.testing.assert_array_equal(
+            one.store(WATCHING_DURATION).timestamps(),
+            two.store(WATCHING_DURATION).timestamps(),
+        )
+        np.testing.assert_array_equal(
+            one.store(WATCHING_DURATION).values(),
+            two.store(WATCHING_DURATION).values(),
+        )
