@@ -8,9 +8,18 @@ reports) and measures how the radio-demand prediction accuracy responds.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
-from harness import build_scheme, default_scheme_config, fig3_simulation_config, run_once
+from harness import (
+    benchmark_record,
+    build_scheme,
+    default_scheme_config,
+    fig3_simulation_config,
+    run_once,
+    write_benchmark_json,
+)
 from repro.twin.collector import CollectionPolicy
 
 
@@ -19,6 +28,7 @@ SEEDS = (11, 12)
 
 
 def _run_policy(label: str, policy: CollectionPolicy):
+    started = time.perf_counter()
     accuracies = []
     for seed in SEEDS:
         scheme = build_scheme(
@@ -29,7 +39,14 @@ def _run_policy(label: str, policy: CollectionPolicy):
         )
         result = scheme.run(num_intervals=EVAL_INTERVALS)
         accuracies.append(result.mean_radio_accuracy())
-    return {"label": label, "accuracy": float(np.mean(accuracies)), "runs": len(SEEDS)}
+    return {
+        "label": label,
+        "accuracy": float(np.mean(accuracies)),
+        "runs": len(SEEDS),
+        "period_multiplier": policy.period_multiplier,
+        "drop_probability": policy.drop_probability,
+        "elapsed_s": time.perf_counter() - started,
+    }
 
 
 def _experiment():
@@ -41,14 +58,23 @@ def _experiment():
     ]
 
 
-def bench_dt_staleness_ablation(benchmark):
-    rows = run_once(benchmark, _experiment)
+def _report(rows):
+    path = write_benchmark_json(
+        "ablation_dt_staleness",
+        [
+            benchmark_record(
+                "ablation_dt_staleness", users=24, intervals=EVAL_INTERVALS, **row
+            )
+            for row in rows
+        ],
+    )
 
     print()
     print("Digital-twin staleness ablation (mean radio-demand prediction accuracy)")
     print(f"{'collection policy':<26s} {'accuracy':>9s}")
     for row in rows:
         print(f"{row['label']:<26s} {row['accuracy']:>9.2%}")
+    print(f"JSON record: {path}")
 
     fresh = rows[0]["accuracy"]
     worst = rows[-1]["accuracy"]
@@ -61,3 +87,11 @@ def bench_dt_staleness_ablation(benchmark):
     assert fresh >= worst - 0.05
     # Every configuration still produces a usable (finite, positive) accuracy.
     assert all(0.0 <= row["accuracy"] <= 1.0 for row in rows)
+
+
+def bench_dt_staleness_ablation(benchmark):
+    _report(run_once(benchmark, _experiment))
+
+
+if __name__ == "__main__":
+    _report(_experiment())

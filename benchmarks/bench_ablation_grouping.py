@@ -5,19 +5,31 @@ to balance intra-group similarity against per-group multicast cost.  This
 benchmark compares grouping strategies on the same population and reports,
 per strategy: the average number of groups, the clustering quality
 (silhouette), the actual radio usage and the demand-prediction accuracy.
+Results land as machine-comparable JSON records in
+``benchmarks/results/ablation_grouping.json``.
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
-from harness import build_scheme, default_scheme_config, fig3_simulation_config, run_once
+from harness import (
+    benchmark_record,
+    build_scheme,
+    default_scheme_config,
+    fig3_simulation_config,
+    run_once,
+    write_benchmark_json,
+)
 
 
 EVAL_INTERVALS = 4
 
 
 def _run_strategy(k_strategy: str, fixed_k=None, seed: int = 77):
+    started = time.perf_counter()
     scheme = build_scheme(
         fig3_simulation_config(seed=seed, num_intervals=EVAL_INTERVALS + 2),
         default_scheme_config(mc_rollouts=8),
@@ -31,22 +43,30 @@ def _run_strategy(k_strategy: str, fixed_k=None, seed: int = 77):
         "silhouette": float(np.mean([e.grouping.silhouette for e in result.intervals])),
         "actual_rbs": float(result.actual_radio_series().mean()),
         "accuracy": float(result.mean_radio_accuracy()),
+        "elapsed_s": time.perf_counter() - started,
     }
 
 
 def _experiment():
-    rows = [
+    return [
         _run_strategy("ddqn"),
         _run_strategy("silhouette"),
         _run_strategy("fixed", fixed_k=2),
         _run_strategy("fixed", fixed_k=4),
         _run_strategy("fixed", fixed_k=6),
     ]
-    return rows
 
 
-def bench_grouping_strategy_ablation(benchmark):
-    rows = run_once(benchmark, _experiment)
+def _report(rows):
+    path = write_benchmark_json(
+        "ablation_grouping",
+        [
+            benchmark_record(
+                "ablation_grouping", users=24, intervals=EVAL_INTERVALS, **row
+            )
+            for row in rows
+        ],
+    )
 
     print()
     print("Grouping-strategy ablation (means over evaluated intervals)")
@@ -56,6 +76,7 @@ def bench_grouping_strategy_ablation(benchmark):
             f"{row['strategy']:<22s} {row['mean_k']:>7.1f} {row['silhouette']:>11.3f} "
             f"{row['actual_rbs']:>11.2f} {row['accuracy']:>9.2%}"
         )
+    print(f"JSON record: {path}")
 
     by_name = {row["strategy"]: row for row in rows}
     ddqn = by_name["ddqn"]
@@ -72,3 +93,11 @@ def bench_grouping_strategy_ablation(benchmark):
     assert fixed_large["actual_rbs"] > ddqn["actual_rbs"] * 1.3
     # Prediction stays accurate for the paper's strategy.
     assert ddqn["accuracy"] >= 0.8
+
+
+def bench_grouping_strategy_ablation(benchmark):
+    _report(run_once(benchmark, _experiment))
+
+
+if __name__ == "__main__":
+    _report(_experiment())

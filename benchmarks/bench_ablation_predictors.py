@@ -15,9 +15,18 @@ resources than the multicast actual usage.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
-from harness import build_scheme, default_scheme_config, fig3_simulation_config, run_once
+from harness import (
+    benchmark_record,
+    build_scheme,
+    default_scheme_config,
+    fig3_simulation_config,
+    run_once,
+    write_benchmark_json,
+)
 from repro.core.accuracy import mean_prediction_accuracy
 from repro.predict import (
     EwmaPredictor,
@@ -29,6 +38,7 @@ from repro.predict import (
 
 
 def _experiment():
+    started = time.perf_counter()
     scheme = build_scheme(
         fig3_simulation_config(seed=55, num_intervals=10),
         default_scheme_config(mc_rollouts=10),
@@ -72,13 +82,30 @@ def _experiment():
     unicast_blocks = per_user.total_resource_blocks(
         per_user.predict_all(sim.twins, window_start, window_end)
     )
-    return rows, float(unicast_blocks), float(actual.mean()), result
+    elapsed = time.perf_counter() - started
+    return rows, float(unicast_blocks), float(actual.mean()), result, elapsed
 
 
-def bench_predictor_ablation(benchmark):
-    rows, unicast_blocks, multicast_actual, result = run_once(benchmark, _experiment)
+def _report(rows, unicast_blocks, multicast_actual, result, elapsed):
+    path = write_benchmark_json(
+        "ablation_predictors",
+        [
+            benchmark_record(
+                "ablation_predictors",
+                elapsed_s=elapsed,
+                users=24,
+                intervals=8,
+                predictor=row["name"],
+                accuracy=row["accuracy"],
+                unicast_blocks=unicast_blocks,
+                multicast_actual_blocks=multicast_actual,
+            )
+            for row in rows
+        ],
+    )
 
     print()
+    print(f"JSON record: {path}")
     print("Predictor ablation (mean radio-demand prediction accuracy over 8 intervals)")
     print(f"{'predictor':<28s} {'accuracy':>9s}")
     for row in rows:
@@ -99,3 +126,11 @@ def bench_predictor_ablation(benchmark):
     # Unicast (per-user) delivery would need substantially more radio resources
     # than multicast actually used — the core motivation for multicast groups.
     assert unicast_blocks > multicast_actual * 1.5
+
+
+def bench_predictor_ablation(benchmark):
+    _report(*run_once(benchmark, _experiment))
+
+
+if __name__ == "__main__":
+    _report(*_experiment())

@@ -11,9 +11,18 @@ baseline reservation.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
-from harness import build_scheme, default_scheme_config, fig3_simulation_config, run_once
+from harness import (
+    benchmark_record,
+    build_scheme,
+    default_scheme_config,
+    fig3_simulation_config,
+    run_once,
+    write_benchmark_json,
+)
 from repro.core.reservation import ReservationPlanner, ReservationPolicy
 from repro.net.resources import ResourceGrid
 from repro.predict import LastValuePredictor
@@ -70,15 +79,29 @@ def _last_value_run(margin: float = 1.1, seed: int = 91):
 
 
 def _experiment():
+    started = time.perf_counter()
     rows = [_dt_policy_run(margin) for margin in MARGINS]
     rows.append(_last_value_run())
-    return rows
+    return time.perf_counter() - started, rows
 
 
-def bench_reservation_margin_ablation(benchmark):
-    rows = run_once(benchmark, _experiment)
+def _report(elapsed, rows):
+    path = write_benchmark_json(
+        "ablation_reservation",
+        [
+            benchmark_record(
+                "ablation_reservation",
+                elapsed_s=elapsed,
+                users=24,
+                intervals=EVAL_INTERVALS,
+                **row,
+            )
+            for row in rows
+        ],
+    )
 
     print()
+    print(f"JSON record: {path}")
     print("Reservation ablation (mean resource blocks per interval)")
     print(f"{'policy':<30s} {'over-prov':>10s} {'under-prov':>11s} {'shortfall itvls':>16s}")
     for row in rows:
@@ -102,3 +125,12 @@ def bench_reservation_margin_ablation(benchmark):
     dt_mid = dt_rows[1]
     assert dt_mid["over"] < baseline["over"]
     assert dt_mid["under"] <= baseline["under"] + 0.5
+
+
+def bench_reservation_margin_ablation(benchmark):
+    elapsed, rows = run_once(benchmark, _experiment)
+    _report(elapsed, rows)
+
+
+if __name__ == "__main__":
+    _report(*_experiment())

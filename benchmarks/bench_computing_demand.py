@@ -8,23 +8,42 @@ CPU cycles per reservation interval, plus edge-server utilisation.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
-from harness import build_scheme, run_once
+from harness import benchmark_record, build_scheme, run_once, write_benchmark_json
 
 
 def _experiment():
+    started = time.perf_counter()
     scheme = build_scheme()
     result = scheme.run(num_intervals=6)
-    return scheme, result
+    return time.perf_counter() - started, scheme, result
 
 
-def bench_computing_resource_demand(benchmark):
-    scheme, result = run_once(benchmark, _experiment)
+def _report(elapsed, scheme, result):
     interval_s = scheme.simulator.config.interval_s
     cpu_capacity = scheme.simulator.edge.config.cpu_capacity_cycles_per_s
+    path = write_benchmark_json(
+        "computing_demand",
+        [
+            benchmark_record(
+                "computing_demand",
+                elapsed_s=elapsed,
+                users=24,
+                intervals=6,
+                mean_accuracy=float(result.mean_computing_accuracy()),
+                max_accuracy=float(result.computing_accuracy_series().max()),
+                predicted_cycles=[float(v) for v in result.predicted_computing_series()],
+                actual_cycles=[float(v) for v in result.actual_computing_series()],
+                cpu_capacity_cycles_per_s=float(cpu_capacity),
+            )
+        ],
+    )
 
     print()
+    print(f"JSON record: {path}")
     print("Computing (transcoding) resource demand — predicted vs actual CPU gigacycles")
     print(f"{'interval':>8s} {'predicted':>12s} {'actual':>12s} {'accuracy':>9s} {'edge util':>10s}")
     for evaluation in result.intervals:
@@ -49,3 +68,11 @@ def bench_computing_resource_demand(benchmark):
     # The edge server is provisioned sanely: busy but never above capacity.
     utilisations = actual / (cpu_capacity * interval_s)
     assert np.all(utilisations < 1.0)
+
+
+def bench_computing_resource_demand(benchmark):
+    _report(*run_once(benchmark, _experiment))
+
+
+if __name__ == "__main__":
+    _report(*_experiment())

@@ -13,9 +13,11 @@ ending at 1.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
-from harness import build_scheme, run_once
+from harness import benchmark_record, build_scheme, run_once, write_benchmark_json
 
 
 def _select_news_group(profiles):
@@ -28,17 +30,34 @@ def _select_news_group(profiles):
 
 
 def _experiment():
+    started = time.perf_counter()
     scheme = build_scheme()
     result = scheme.run(num_intervals=6)
     last = result.intervals[-1]
     group_id = _select_news_group(last.profiles)
-    return last.profiles[group_id]
+    return time.perf_counter() - started, last.profiles[group_id]
 
 
-def bench_fig3a_cumulative_swiping_probability(benchmark):
-    profile = run_once(benchmark, _experiment)
+def _report(elapsed, profile):
+    path = write_benchmark_json(
+        "fig3a_swiping_probability",
+        [
+            benchmark_record(
+                "fig3a_swiping_probability",
+                elapsed_s=elapsed,
+                users=24,
+                intervals=6,
+                group_id=int(profile.group_id),
+                group_size=len(profile.member_ids),
+                cumulative_swiping=dict(profile.cumulative_swiping),
+                engagement_share=dict(profile.engagement_share),
+                swipe_probability=dict(profile.swipe_probability),
+            )
+        ],
+    )
 
     print()
+    print(f"JSON record: {path}")
     print("Fig. 3(a) — cumulative swiping probability of multicast group "
           f"{profile.group_id} ({len(profile.member_ids)} members)")
     print(f"{'category':<12s} {'cumulative':>10s} {'engagement share':>17s} {'swipe prob':>11s}")
@@ -61,3 +80,11 @@ def bench_fig3a_cumulative_swiping_probability(benchmark):
     assert profile.engagement_share["Game"] < profile.engagement_share["News"]
     # Swipe probabilities are proper probabilities.
     assert all(0.0 <= p <= 1.0 for p in profile.swipe_probability.values())
+
+
+def bench_fig3a_cumulative_swiping_probability(benchmark):
+    _report(*run_once(benchmark, _experiment))
+
+
+if __name__ == "__main__":
+    _report(*_experiment())

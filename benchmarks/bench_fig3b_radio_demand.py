@@ -10,21 +10,39 @@ peak per-interval accuracy above 95 % and a high mean.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
-from harness import build_scheme, run_once
+from harness import benchmark_record, build_scheme, run_once, write_benchmark_json
 
 
 def _experiment():
+    started = time.perf_counter()
     scheme = build_scheme()
     result = scheme.run(num_intervals=7)
-    return scheme, result
+    return time.perf_counter() - started, scheme, result
 
 
-def bench_fig3b_radio_resource_demand(benchmark):
-    scheme, result = run_once(benchmark, _experiment)
+def _report(elapsed, scheme, result):
+    path = write_benchmark_json(
+        "fig3b_radio_demand",
+        [
+            benchmark_record(
+                "fig3b_radio_demand",
+                elapsed_s=elapsed,
+                users=24,
+                intervals=7,
+                mean_accuracy=float(result.mean_radio_accuracy()),
+                max_accuracy=float(result.max_radio_accuracy()),
+                predicted_blocks=[float(v) for v in result.predicted_radio_series()],
+                actual_blocks=[float(v) for v in result.actual_radio_series()],
+            )
+        ],
+    )
 
     print()
+    print(f"JSON record: {path}")
     print("Fig. 3(b) — predicted vs actual radio resource demand (resource blocks)")
     print(f"{'interval':>8s} {'groups':>6s} {'predicted':>10s} {'actual':>8s} {'accuracy':>9s}")
     for evaluation in result.intervals:
@@ -49,3 +67,11 @@ def bench_fig3b_radio_resource_demand(benchmark):
     assert mean_accuracy >= 0.80
     # Relative error never explodes (every interval within 35 %).
     assert np.all(np.abs(predicted - actual) / actual < 0.35)
+
+
+def bench_fig3b_radio_resource_demand(benchmark):
+    _report(*run_once(benchmark, _experiment))
+
+
+if __name__ == "__main__":
+    _report(*_experiment())

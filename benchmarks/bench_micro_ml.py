@@ -13,7 +13,11 @@ These cover the learning components in isolation:
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
+
+from harness import benchmark_record, write_benchmark_json
 
 from repro.cluster import KMeansPlusPlus, silhouette_score
 from repro.core.features import CompressorConfig, UDTFeatureCompressor
@@ -32,6 +36,7 @@ def _make_population_tensor(rng: np.random.Generator, populations=3, per_populat
 
 
 def _cnn_experiment():
+    started = time.perf_counter()
     rng = np.random.default_rng(0)
     tensor, labels = _make_population_tensor(rng)
     compressor = UDTFeatureCompressor(
@@ -41,10 +46,12 @@ def _cnn_experiment():
     features = compressor.compress(tensor)
     clustering = KMeansPlusPlus(3, restarts=3).fit(features, rng=rng)
     quality = silhouette_score(features, clustering.labels)
-    return history, features, quality, compressor.compression_ratio
+    elapsed = time.perf_counter() - started
+    return history, features, quality, compressor.compression_ratio, elapsed
 
 
 def _ddqn_experiment():
+    started = time.perf_counter()
     config = GroupingEnvConfig(min_groups=2, max_groups=6, seed=3)
     env = GroupingEnvironment(config)
     agent = DDQNAgent(
@@ -58,18 +65,32 @@ def _ddqn_experiment():
         )
     )
     result = train_agent(agent, env, episodes=40, rng=np.random.default_rng(1))
-    return agent, result
+    elapsed = time.perf_counter() - started
+    return agent, result, elapsed
 
 
-def bench_cnn_compressor_quality(benchmark):
-    history, features, quality, ratio = benchmark.pedantic(
-        _cnn_experiment, rounds=1, iterations=1, warmup_rounds=0
+def _report_cnn(history, features, quality, ratio, elapsed):
+    path = write_benchmark_json(
+        "micro_ml_cnn",
+        [
+            benchmark_record(
+                "micro_ml_cnn",
+                elapsed_s=elapsed,
+                users=36,  # synthetic windows: 3 populations x 12 users
+                intervals=1,
+                compression_ratio=float(ratio),
+                first_epoch_loss=float(history.train_loss[0]),
+                last_epoch_loss=float(history.train_loss[-1]),
+                silhouette=float(quality),
+            )
+        ],
     )
     print()
     print("1D-CNN compressor micro-benchmark")
     print(f"  compression ratio                : {ratio:.1f}x")
     print(f"  training loss first -> last epoch: {history.train_loss[0]:.4f} -> {history.train_loss[-1]:.4f}")
     print(f"  silhouette of compressed features: {quality:.3f}")
+    print(f"  JSON record: {path}")
 
     assert history.train_loss[-1] < history.train_loss[0]
     assert features.shape[1] == 8
@@ -78,10 +99,24 @@ def bench_cnn_compressor_quality(benchmark):
     assert ratio > 10.0
 
 
-def bench_ddqn_convergence(benchmark):
-    agent, result = benchmark.pedantic(_ddqn_experiment, rounds=1, iterations=1, warmup_rounds=0)
+def _report_ddqn(agent, result, elapsed):
     early = float(np.mean(result.episode_returns[:10]))
     late = float(np.mean(result.episode_returns[-10:]))
+    path = write_benchmark_json(
+        "micro_ml_ddqn",
+        [
+            benchmark_record(
+                "micro_ml_ddqn",
+                elapsed_s=elapsed,
+                users=0,  # synthetic grouping environment, no simulated users
+                intervals=result.num_episodes,
+                early_mean_return=early,
+                late_mean_return=late,
+                recent_loss=float(agent.diagnostics.recent_loss()),
+                target_updates=int(agent.diagnostics.target_updates),
+            )
+        ],
+    )
     print()
     print("DDQN grouping-number selector micro-benchmark")
     print(f"  episodes                 : {result.num_episodes}")
@@ -89,9 +124,23 @@ def bench_ddqn_convergence(benchmark):
     print(f"  mean return last 10      : {late:.3f}")
     print(f"  training loss (recent)   : {agent.diagnostics.recent_loss():.4f}")
     print(f"  target-network updates   : {agent.diagnostics.target_updates}")
+    print(f"  JSON record: {path}")
 
     assert result.num_episodes == 40
     # Learning signal exists: the agent's recent return does not collapse.
     assert late >= early - 0.3
     assert agent.diagnostics.target_updates > 0
     assert np.isfinite(agent.diagnostics.recent_loss())
+
+
+def bench_cnn_compressor_quality(benchmark):
+    _report_cnn(*benchmark.pedantic(_cnn_experiment, rounds=1, iterations=1, warmup_rounds=0))
+
+
+def bench_ddqn_convergence(benchmark):
+    _report_ddqn(*benchmark.pedantic(_ddqn_experiment, rounds=1, iterations=1, warmup_rounds=0))
+
+
+if __name__ == "__main__":
+    _report_cnn(*_cnn_experiment())
+    _report_ddqn(*_ddqn_experiment())

@@ -100,7 +100,8 @@ def _legacy_collect_interval(sim: StreamingSimulator):
     """The seed collector: one Python call per collected sample."""
     collector = sim.collector
 
-    def collect(udt, mobility, base_station, preference, events, start_s, end_s, rng=None):
+    def collect(udt, mobility, base_station, preference, events, start_s, end_s,
+                rng=None, serving_cell=None):
         rng = rng if rng is not None else collector._rng
         delay = collector.policy.delay_s
         if CHANNEL_CONDITION in udt.attributes:

@@ -39,6 +39,16 @@ def _add_fig3_parser(subparsers) -> None:
     parser.add_argument(
         "--interval-seconds", type=float, default=150.0, help="reservation interval length"
     )
+    parser.add_argument(
+        "--channel-draw-mode",
+        choices=("compat", "fast"),
+        default="compat",
+        help=(
+            "how channel randomness is drawn: 'compat' reproduces the scalar-era "
+            "generator streams for a given seed, 'fast' is ~1.5x quicker but walks "
+            "the generator differently (same statistics, different per-seed totals)"
+        ),
+    )
 
 
 def _add_simple_parser(subparsers, name: str, help_text: str) -> None:
@@ -82,6 +92,7 @@ def _run_fig3(args: argparse.Namespace) -> int:
         num_users=args.users,
         num_eval_intervals=args.intervals,
         interval_s=args.interval_seconds,
+        channel_draw_mode=args.channel_draw_mode,
     )
     profile = result.news_group_profile
     print(f"Fig. 3(a) — cumulative swiping probability (group {profile.group_id}, "

@@ -14,11 +14,26 @@ videos.  The radio model here is a standard cellular downlink abstraction:
   the worst user in the group, and the conversion from group traffic to
   resource-block demand.
 * :mod:`repro.net.resources` -- resource-block accounting / allocation.
+* :mod:`repro.net.handover` -- hysteresis + time-to-trigger handover policy
+  evaluated on batched mid-interval SNR samples.
+* :mod:`repro.net.controller` -- the event-driven multi-cell RAN controller
+  (user association, per-cell multicast group scoping, cross-cell
+  resource-block budget rebalancing).
 """
 
 from repro.net.channel import ChannelConfig, ChannelModel, snr_db_to_linear, snr_linear_to_db
 from repro.net.mcs import MCS_TABLE, McsEntry, select_mcs, spectral_efficiency
 from repro.net.basestation import BaseStation, BaseStationConfig, associate_users
+from repro.net.handover import HandoverConfig, HandoverDecision, HandoverPolicy, StreakState
+from repro.net.controller import (
+    CellLoadEvent,
+    CellState,
+    ControllerConfig,
+    GroupScopeEvent,
+    HandoverEvent,
+    RanController,
+    cell_utilization,
+)
 from repro.net.multicast import (
     MulticastChannel,
     MulticastScheduler,
@@ -30,8 +45,19 @@ from repro.net.resources import ResourceBlockBudget, ResourceGrid
 __all__ = [
     "BaseStation",
     "BaseStationConfig",
+    "CellLoadEvent",
+    "CellState",
     "ChannelConfig",
     "ChannelModel",
+    "ControllerConfig",
+    "GroupScopeEvent",
+    "HandoverConfig",
+    "HandoverDecision",
+    "HandoverEvent",
+    "HandoverPolicy",
+    "RanController",
+    "StreakState",
+    "cell_utilization",
     "MCS_TABLE",
     "McsEntry",
     "MulticastChannel",

@@ -1,0 +1,401 @@
+"""Event-driven multi-cell RAN controller.
+
+The controller owns two pieces of network state the simulator used to treat
+as implicit: which cell serves each user, and how multicast groups map onto
+cells.  It is driven by records flowing through its own
+:class:`repro.sim.events.EventQueue` instance (the same event machinery the
+simulation substrate exposes), which serialises every state change into one
+time-ordered, logged stream:
+
+* :class:`HandoverEvent` -- a user's serving cell changes after the
+  hysteresis + time-to-trigger rule (:mod:`repro.net.handover`) fires on
+  mid-interval measurement samples,
+* :class:`GroupScopeEvent` -- a logical multicast group splits across (or
+  merges back into fewer) cells because members crossed a cell boundary; a
+  multicast channel is per-cell, so the worst-member rule is scoped to the
+  serving base station,
+* :class:`CellLoadEvent` -- a cell's resource-block demand versus its
+  budget at the end of an interval, after which the controller rebalances
+  budgets from underloaded towards overloaded cells.
+
+Everything is deterministic: the controller consumes no randomness, so for
+identical seeds the simulator produces the identical event sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.handover import (
+    HandoverConfig,
+    HandoverPolicy,
+    StreakState,
+    measure_mean_snr,
+)
+
+
+@dataclass(frozen=True)
+class HandoverEvent:
+    """A user's serving cell changed."""
+
+    time_s: float
+    user_id: int
+    source_cell: int
+    target_cell: int
+    margin_db: float
+
+
+@dataclass(frozen=True)
+class GroupScopeEvent:
+    """A logical group's cell footprint changed.
+
+    ``kind`` is ``"split"`` (more cells than before), ``"merge"`` (fewer)
+    or ``"move"`` (same number of cells but a different set -- e.g. every
+    member handed over from cell 0 to cell 1).
+    """
+
+    time_s: float
+    logical_group_id: int
+    kind: str
+    cells: Tuple[int, ...]
+    previous_cells: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class CellLoadEvent:
+    """End-of-interval load report of one cell."""
+
+    time_s: float
+    cell_id: int
+    demand_blocks: float
+    budget_blocks: float
+    utilization: float
+    overloaded: bool
+    outage_groups: int = 0
+
+
+@dataclass
+class CellState:
+    """Mutable per-cell bookkeeping the controller maintains."""
+
+    cell_id: int
+    rb_budget: float
+    rb_demand: float = 0.0
+    served_users: int = 0
+    handovers_in: int = 0
+    handovers_out: int = 0
+    outage_groups: int = 0
+
+    @property
+    def utilization(self) -> float:
+        return cell_utilization(self.rb_demand, self.rb_budget)
+
+
+def cell_utilization(demand_blocks: float, budget_blocks: float) -> float:
+    """Demand over budget; ``inf`` for a zero-budget cell with demand."""
+    if budget_blocks > 0:
+        return demand_blocks / budget_blocks
+    return 0.0 if demand_blocks <= 0 else float("inf")
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Controller parameters.
+
+    ``overload_threshold`` / ``underload_threshold`` classify cells by
+    resource-block utilization; each interval the controller moves at most
+    ``rebalance_fraction`` of an underloaded cell's budget towards
+    overloaded cells (total budget is conserved).
+    """
+
+    handover: HandoverConfig = field(default_factory=HandoverConfig)
+    overload_threshold: float = 0.9
+    underload_threshold: float = 0.5
+    rebalance_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.underload_threshold < self.overload_threshold:
+            raise ValueError(
+                "thresholds must satisfy 0 < underload_threshold < overload_threshold"
+            )
+        if not 0.0 <= self.rebalance_fraction <= 1.0:
+            raise ValueError("rebalance_fraction must be in [0, 1]")
+
+
+class RanController:
+    """Owns user association and per-cell multicast group state."""
+
+    def __init__(
+        self,
+        base_stations: Sequence,
+        config: Optional[ControllerConfig] = None,
+    ) -> None:
+        if not base_stations:
+            raise ValueError("need at least one base station")
+        self.config = config if config is not None else ControllerConfig()
+        self.base_stations = list(base_stations)
+        self.cell_ids: List[int] = [bs.bs_id for bs in self.base_stations]
+        if len(set(self.cell_ids)) != len(self.cell_ids):
+            raise ValueError("base station ids must be unique")
+        self._cell_index = {cid: index for index, cid in enumerate(self.cell_ids)}
+        self.policy = HandoverPolicy(self.config.handover)
+        # Imported here, not at module level: repro.net must stay importable
+        # without repro.sim (whose config imports repro.twin, which imports
+        # repro.net -- a module-level import would close that cycle).
+        from repro.sim.events import EventQueue
+
+        self.events = EventQueue()
+        self.serving_cell: Dict[int, int] = {}
+        self.cell_states: Dict[int, CellState] = {
+            bs.bs_id: CellState(cell_id=bs.bs_id, rb_budget=float(bs.config.num_resource_blocks))
+            for bs in self.base_stations
+        }
+        self.handover_log: List[HandoverEvent] = []
+        self.group_event_log: List[GroupScopeEvent] = []
+        self.load_event_log: List[CellLoadEvent] = []
+        self._group_cells: Dict[int, FrozenSet[int]] = {}
+        #: Per-user A3 streak carried across intervals: (candidate cell
+        #: index or -1, absolute streak start time).  Keeps time-to-trigger
+        #: windows continuous across interval boundaries.
+        self._streaks: Dict[int, Tuple[int, float]] = {}
+
+    # ------------------------------------------------------------ association
+    def attach_user(self, user_id: int, cell_id: int) -> None:
+        """Associate a (new) user with ``cell_id``."""
+        if cell_id not in self.cell_states:
+            raise KeyError(f"unknown cell {cell_id}")
+        previous = self.serving_cell.get(user_id)
+        if previous is not None:
+            self.cell_states[previous].served_users -= 1
+        self.serving_cell[user_id] = cell_id
+        self.cell_states[cell_id].served_users += 1
+        self._streaks[user_id] = (-1, 0.0)
+
+    def detach_user(self, user_id: int) -> None:
+        if user_id not in self.serving_cell:
+            raise KeyError(f"unknown user {user_id}")
+        self.cell_states[self.serving_cell.pop(user_id)].served_users -= 1
+        self._streaks.pop(user_id, None)
+
+    def users_of_cell(self, cell_id: int) -> List[int]:
+        return sorted(uid for uid, cid in self.serving_cell.items() if cid == cell_id)
+
+    # -------------------------------------------------------------- handover
+    def observe_interval(
+        self,
+        times_s: np.ndarray,
+        positions: np.ndarray,
+        user_ids: Sequence[int],
+        end_s: float,
+    ) -> List[HandoverEvent]:
+        """Evaluate the handover rule over one interval's measurements.
+
+        ``positions`` has shape ``(times, users, 2)`` aligned with
+        ``user_ids``.  Triggered handovers are scheduled on the event bus at
+        their trigger times and applied (association + per-cell counters) as
+        the bus fires them; the fired events of this interval are returned.
+        """
+        user_ids = list(user_ids)
+        fired: List[HandoverEvent] = []
+        if user_ids and len(self.cell_ids) > 1 and np.asarray(times_s).size:
+            snr = measure_mean_snr(self.base_stations, positions)
+            serving_index = np.array(
+                [self._cell_index[self.serving_cell[uid]] for uid in user_ids]
+            )
+            streaks = [self._streaks.get(uid, (-1, 0.0)) for uid in user_ids]
+            state = StreakState(
+                candidate=np.array([s[0] for s in streaks], dtype=int),
+                entered_at_s=np.array([s[1] for s in streaks]),
+            )
+            decisions, _, state = self.policy.evaluate(
+                times_s, snr, serving_index, state=state
+            )
+            for uid, cand, entered in zip(
+                user_ids, state.candidate, state.entered_at_s
+            ):
+                self._streaks[uid] = (int(cand), float(entered))
+            for decision in decisions:
+                event = HandoverEvent(
+                    time_s=decision.time_s,
+                    user_id=user_ids[decision.user_index],
+                    source_cell=self.cell_ids[decision.source_index],
+                    target_cell=self.cell_ids[decision.target_index],
+                    margin_db=decision.margin_db,
+                )
+                self.events.schedule(
+                    event.time_s,
+                    name="handover",
+                    payload=event,
+                    callback=lambda event=event, fired=fired: self._apply_handover(
+                        event, fired
+                    ),
+                )
+        self.events.run_until(end_s)
+        return fired
+
+    def _apply_handover(self, event: HandoverEvent, fired: List[HandoverEvent]) -> None:
+        self.serving_cell[event.user_id] = event.target_cell
+        self.cell_states[event.source_cell].served_users -= 1
+        self.cell_states[event.source_cell].handovers_out += 1
+        self.cell_states[event.target_cell].served_users += 1
+        self.cell_states[event.target_cell].handovers_in += 1
+        self.handover_log.append(event)
+        fired.append(event)
+
+    # ------------------------------------------------------- group management
+    def scoped_group_id(self, logical_group_id: int, cell_id: int) -> int:
+        """Stable id of a logical group's per-cell slice.
+
+        With a single cell the scoped id equals the logical id, so
+        single-cell deployments see unchanged group ids.
+        """
+        return logical_group_id * len(self.cell_ids) + self._cell_index[cell_id]
+
+    def logical_group_id(self, scoped_group_id: int) -> int:
+        return scoped_group_id // len(self.cell_ids)
+
+    def scope_grouping(
+        self, grouping: Mapping[int, Sequence[int]], time_s: float
+    ) -> Tuple[Dict[int, List[int]], Dict[int, int], List[GroupScopeEvent]]:
+        """Split each logical group by its members' serving cells.
+
+        A multicast channel exists per (group, cell): the worst-member rule
+        only spans users the same base station transmits to.  Returns
+        ``(scoped_grouping, cell_of_group, scope_events)`` where scoped ids
+        come from :meth:`scoped_group_id`.  Footprint changes versus the
+        previous interval are emitted as :class:`GroupScopeEvent` records
+        through the bus at ``time_s``.
+        """
+        scoped: Dict[int, List[int]] = {}
+        cell_of_group: Dict[int, int] = {}
+        fired: List[GroupScopeEvent] = []
+        for logical_id, member_ids in grouping.items():
+            by_cell: Dict[int, List[int]] = {}
+            for uid in member_ids:
+                by_cell.setdefault(self.serving_cell[uid], []).append(uid)
+            cells = frozenset(by_cell)
+            previous = self._group_cells.get(logical_id, frozenset())
+            kind = None
+            if not previous:
+                kind = "split" if len(cells) > 1 else None
+            elif len(cells) > len(previous):
+                kind = "split"
+            elif len(cells) < len(previous):
+                kind = "merge"
+            elif cells != previous:
+                kind = "move"
+            if kind is not None:
+                event = GroupScopeEvent(
+                    time_s=time_s,
+                    logical_group_id=logical_id,
+                    kind=kind,
+                    cells=tuple(sorted(cells)),
+                    previous_cells=tuple(sorted(previous)),
+                )
+                self.events.schedule(
+                    time_s,
+                    name=f"group_{kind}",
+                    payload=event,
+                    callback=lambda event=event, fired=fired: (
+                        self.group_event_log.append(event),
+                        fired.append(event),
+                    ),
+                )
+            self._group_cells[logical_id] = cells
+            for cell_id in sorted(by_cell):
+                scoped_id = self.scoped_group_id(logical_id, cell_id)
+                scoped[scoped_id] = by_cell[cell_id]
+                cell_of_group[scoped_id] = cell_id
+        self.events.run_until(time_s)
+        return scoped, cell_of_group, fired
+
+    # --------------------------------------------------------- load balancing
+    def set_cell_budget(self, cell_id: int, blocks: float) -> None:
+        """Operator override of one cell's budget (e.g. an outage drill)."""
+        if blocks < 0:
+            raise ValueError("blocks must be non-negative")
+        self.cell_states[cell_id].rb_budget = float(blocks)
+
+    def total_budget(self) -> float:
+        return float(sum(state.rb_budget for state in self.cell_states.values()))
+
+    def rb_budget_by_cell(self) -> Dict[int, float]:
+        return {cid: self.cell_states[cid].rb_budget for cid in self.cell_ids}
+
+    def finish_interval(
+        self,
+        demand_by_cell: Mapping[int, float],
+        outage_by_cell: Mapping[int, int],
+        time_s: float,
+    ) -> Tuple[List[CellLoadEvent], Dict[int, float]]:
+        """Record per-cell load, emit load events and rebalance budgets.
+
+        ``demand_by_cell`` carries each cell's finite resource-block demand
+        of the interval that just ended; ``outage_by_cell`` the number of
+        its groups whose demand was infinite (no decodable MCS).  Returns
+        ``(load_events, utilization_by_cell)`` with utilization measured
+        against the pre-rebalance budgets.
+        """
+        fired: List[CellLoadEvent] = []
+        utilization: Dict[int, float] = {}
+        for cell_id in self.cell_ids:
+            state = self.cell_states[cell_id]
+            state.rb_demand = float(demand_by_cell.get(cell_id, 0.0))
+            state.outage_groups = int(outage_by_cell.get(cell_id, 0))
+            utilization[cell_id] = state.utilization
+            event = CellLoadEvent(
+                time_s=time_s,
+                cell_id=cell_id,
+                demand_blocks=state.rb_demand,
+                budget_blocks=state.rb_budget,
+                utilization=state.utilization,
+                overloaded=state.utilization > self.config.overload_threshold,
+                outage_groups=state.outage_groups,
+            )
+            self.events.schedule(
+                time_s,
+                name="cell_load",
+                payload=event,
+                callback=lambda event=event, fired=fired: (
+                    self.load_event_log.append(event),
+                    fired.append(event),
+                ),
+            )
+        self.events.run_until(time_s)
+        self._rebalance_budgets()
+        return fired, utilization
+
+    def _rebalance_budgets(self) -> None:
+        """Shift budget from underloaded towards overloaded cells.
+
+        An overloaded cell's deficit is the budget that would bring its
+        utilization back to the overload threshold; an underloaded cell
+        donates at most ``rebalance_fraction`` of its budget and never so
+        much that it would itself cross the overload threshold.  Transfers
+        are pro-rata on both sides, so the total budget is conserved.
+        """
+        over = self.config.overload_threshold
+        deficits: Dict[int, float] = {}
+        surpluses: Dict[int, float] = {}
+        for cell_id in self.cell_ids:
+            state = self.cell_states[cell_id]
+            utilization = state.utilization
+            if utilization > over:
+                deficits[cell_id] = state.rb_demand / over - state.rb_budget
+            elif utilization < self.config.underload_threshold:
+                headroom = state.rb_budget - state.rb_demand / over
+                surplus = min(self.config.rebalance_fraction * state.rb_budget, headroom)
+                if surplus > 0:
+                    surpluses[cell_id] = surplus
+        total_deficit = sum(deficits.values())
+        total_surplus = sum(surpluses.values())
+        transfer = min(total_deficit, total_surplus)
+        if transfer <= 0:
+            return
+        for cell_id, deficit in deficits.items():
+            self.cell_states[cell_id].rb_budget += transfer * deficit / total_deficit
+        for cell_id, surplus in surpluses.items():
+            self.cell_states[cell_id].rb_budget -= transfer * surplus / total_surplus

@@ -1,0 +1,191 @@
+"""Hysteresis + time-to-trigger handover policy.
+
+Cellular handover is event-driven: a user hands over to a neighbour cell
+only when the neighbour's measured signal exceeds the serving cell's by a
+hysteresis margin *continuously* for a time-to-trigger window (the LTE "A3"
+event).  This module evaluates that rule over batched mid-interval
+measurement samples -- one mean-SNR tensor of shape ``(times, users,
+cells)`` built from the vectorized ``positions()`` / ``mean_snr_db_batch``
+paths -- instead of the boundary-only strongest-cell argmax the simulator
+used before.
+
+The policy itself is pure and deterministic: identical measurement inputs
+produce the identical decision sequence, which is what the controller's
+determinism guarantees (same seed, same handover events) rest on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+#: Tolerance used when comparing float sample times against the
+#: time-to-trigger window (arange-produced times are exact multiples of the
+#: sample period, but guard against accumulated float error anyway).
+_TIME_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class HandoverConfig:
+    """Parameters of the A3-style handover rule.
+
+    ``hysteresis_db`` is the margin a neighbour must hold over the serving
+    cell, ``time_to_trigger_s`` how long the margin must hold continuously,
+    and ``sample_period_s`` the measurement period within an interval.
+    """
+
+    hysteresis_db: float = 3.0
+    time_to_trigger_s: float = 10.0
+    sample_period_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.hysteresis_db < 0:
+            raise ValueError("hysteresis_db must be non-negative")
+        if self.time_to_trigger_s < 0:
+            raise ValueError("time_to_trigger_s must be non-negative")
+        if self.sample_period_s <= 0:
+            raise ValueError("sample_period_s must be positive")
+
+
+@dataclass
+class StreakState:
+    """Per-user A3 streak state carried across evaluation batches.
+
+    ``candidate[u]`` is the cell index whose margin streak user ``u`` is
+    accumulating (``-1`` when none) and ``entered_at_s[u]`` the absolute
+    time the streak began.  Persisting this between intervals keeps the
+    time-to-trigger window *continuous*: a margin that establishes late in
+    one interval and completes early in the next still triggers.
+    """
+
+    candidate: np.ndarray
+    entered_at_s: np.ndarray
+
+    @classmethod
+    def fresh(cls, num_users: int) -> "StreakState":
+        return cls(
+            candidate=np.full(num_users, -1, dtype=int),
+            entered_at_s=np.zeros(num_users),
+        )
+
+
+@dataclass(frozen=True)
+class HandoverDecision:
+    """One triggered handover, in measurement-index coordinates.
+
+    ``user_index`` / ``source_index`` / ``target_index`` index into the
+    ``user_ids`` / cell axes the policy was evaluated with; the controller
+    translates them to real user and cell ids.  ``margin_db`` is the
+    measured target-over-source margin at the trigger sample.
+    """
+
+    time_s: float
+    user_index: int
+    source_index: int
+    target_index: int
+    margin_db: float
+
+
+def measure_mean_snr(base_stations: Sequence, positions: np.ndarray) -> np.ndarray:
+    """Mean-SNR measurement tensor for a batch of user positions.
+
+    ``positions`` has shape ``(times, users, 2)``; the result has shape
+    ``(times, users, cells)`` with cells in the order of ``base_stations``.
+    One vectorized ``mean_snr_db_batch`` call per cell over the flattened
+    positions -- no per-(user, sample) Python work.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    if positions.ndim != 3 or positions.shape[-1] != 2:
+        raise ValueError("positions must have shape (times, users, 2)")
+    num_times, num_users = positions.shape[:2]
+    flat = positions.reshape(num_times * num_users, 2)
+    snr = np.stack([bs.mean_snr_db_batch(flat) for bs in base_stations], axis=1)
+    return snr.reshape(num_times, num_users, len(base_stations))
+
+
+class HandoverPolicy:
+    """Evaluates the hysteresis + time-to-trigger rule over sample batches."""
+
+    def __init__(self, config: HandoverConfig | None = None) -> None:
+        self.config = config if config is not None else HandoverConfig()
+
+    def measurement_times(self, start_s: float, end_s: float) -> np.ndarray:
+        """Measurement sample times covering ``[start_s, end_s)``."""
+        if end_s <= start_s:
+            raise ValueError("end_s must be greater than start_s")
+        return np.arange(start_s, end_s, self.config.sample_period_s)
+
+    def evaluate(
+        self,
+        times_s: Sequence[float],
+        snr_db: np.ndarray,
+        serving_index: Sequence[int],
+        state: "StreakState | None" = None,
+    ) -> Tuple[List[HandoverDecision], np.ndarray, StreakState]:
+        """Walk the measurement samples and trigger handovers.
+
+        Parameters
+        ----------
+        times_s:
+            Sample times, shape ``(T,)``, strictly increasing.
+        snr_db:
+            Mean-SNR tensor, shape ``(T, U, C)``.
+        serving_index:
+            Serving-cell index per user at the first sample, shape ``(U,)``.
+        state:
+            Streak state carried over from the previous batch (fresh state
+            when omitted).  Passing the returned state back in keeps
+            time-to-trigger windows continuous across batch boundaries.
+
+        Returns ``(decisions, final_serving_index, state)``.  Decisions are
+        ordered by (time, user index); a user can hand over more than once
+        if the margin condition re-establishes towards another cell.  The
+        walk is vectorized across users -- one pass over the time axis with
+        array ops, no per-user Python loop.
+        """
+        times = np.asarray(times_s, dtype=np.float64)
+        snr = np.asarray(snr_db, dtype=np.float64)
+        serving = np.array(serving_index, dtype=int).copy()
+        if snr.ndim != 3:
+            raise ValueError("snr_db must have shape (times, users, cells)")
+        if times.shape[0] != snr.shape[0] or serving.shape[0] != snr.shape[1]:
+            raise ValueError("times_s, snr_db and serving_index shapes disagree")
+        num_users = serving.shape[0]
+        state = state if state is not None else StreakState.fresh(num_users)
+        if state.candidate.shape[0] != num_users:
+            raise ValueError("state and serving_index shapes disagree")
+        if num_users == 0 or times.shape[0] == 0 or snr.shape[2] < 2:
+            return [], serving, state
+
+        users = np.arange(num_users)
+        candidate = state.candidate.copy()
+        entered_at = state.entered_at_s.copy()
+        ttt = self.config.time_to_trigger_s
+        decisions: List[HandoverDecision] = []
+
+        for step, now in enumerate(times):
+            sample = snr[step]  # (U, C)
+            best = np.argmax(sample, axis=1)
+            margin = sample[users, best] - sample[users, serving]
+            qualifies = (best != serving) & (margin > self.config.hysteresis_db)
+            # A new candidate streak starts whenever the best neighbour
+            # changes or the margin condition (re-)establishes.
+            restarted = qualifies & (best != candidate)
+            entered_at = np.where(restarted, now, entered_at)
+            candidate = np.where(qualifies, best, -1)
+            triggered = qualifies & (now - entered_at + _TIME_EPS >= ttt)
+            for user in np.flatnonzero(triggered):
+                decisions.append(
+                    HandoverDecision(
+                        time_s=float(now),
+                        user_index=int(user),
+                        source_index=int(serving[user]),
+                        target_index=int(best[user]),
+                        margin_db=float(margin[user]),
+                    )
+                )
+            serving = np.where(triggered, best, serving)
+            candidate = np.where(triggered, -1, candidate)
+        return decisions, serving, StreakState(candidate=candidate, entered_at_s=entered_at)

@@ -46,10 +46,32 @@ class SimulationConfig:
     stream_bandwidth_hz: float = 1.8e6  # bandwidth assumed per multicast stream
     implementation_loss: float = 0.9
     channel_sample_period_s: float = 5.0
-    #: "compat" draws shadowing/fading per sample in the scalar path's order
-    #: (identical-seed results); "fast" uses whole-array draws (fastest, but
-    #: walks the generator in a different order).
+    #: How shadowing/fading randomness is drawn from the shared generator.
+    #: ``"compat"`` (default) draws per sample in the exact order of the
+    #: pre-vectorization scalar path, so any seed reproduces the scalar-era
+    #: streams bit-for-bit -- the mode every identical-seed regression
+    #: (goldens, engine-equivalence benchmarks) relies on.  ``"fast"`` uses
+    #: whole-array draws, ~1.5x faster at 100 users, with the *same* channel
+    #: statistics but a different generator walk: totals for a given seed
+    #: differ from compat mode, so use it where throughput matters and only
+    #: run-to-run determinism (not cross-mode seed compatibility) is needed,
+    #: e.g. the multi-cell handover benchmark.
     channel_draw_mode: str = "compat"
+
+    # Multi-cell RAN controller (see repro.net.controller).
+    #: ``"boundary"`` keeps the pre-controller behaviour (strongest-cell
+    #: argmax at every interval boundary, bit-for-bit identical results);
+    #: ``"handover"`` delegates association to the event-driven RAN
+    #: controller: hysteresis + time-to-trigger handover on mid-interval
+    #: samples, per-cell multicast group scoping and cross-cell
+    #: resource-block budget rebalancing.
+    controller_mode: str = "boundary"
+    handover_hysteresis_db: float = 3.0
+    handover_time_to_trigger_s: float = 10.0
+    handover_sample_period_s: float = 5.0
+    cell_overload_threshold: float = 0.9
+    cell_underload_threshold: float = 0.5
+    cell_rebalance_fraction: float = 0.25
 
     # Edge server.
     cache_capacity_gbytes: float = 8.0
@@ -87,6 +109,18 @@ class SimulationConfig:
             raise ValueError("channel_sample_period_s must be positive")
         if self.channel_draw_mode not in ("compat", "fast"):
             raise ValueError("channel_draw_mode must be 'compat' or 'fast'")
+        if self.controller_mode not in ("boundary", "handover"):
+            raise ValueError("controller_mode must be 'boundary' or 'handover'")
+        if self.handover_hysteresis_db < 0 or self.handover_time_to_trigger_s < 0:
+            raise ValueError("handover hysteresis and time-to-trigger must be non-negative")
+        if self.handover_sample_period_s <= 0:
+            raise ValueError("handover_sample_period_s must be positive")
+        if not 0.0 < self.cell_underload_threshold < self.cell_overload_threshold:
+            raise ValueError(
+                "thresholds must satisfy 0 < cell_underload_threshold < cell_overload_threshold"
+            )
+        if not 0.0 <= self.cell_rebalance_fraction <= 1.0:
+            raise ValueError("cell_rebalance_fraction must be in [0, 1]")
         if not 0.0 <= self.popularity_update_rate <= 1.0:
             raise ValueError("popularity_update_rate must be in [0, 1]")
         if self.feature_steps <= 0:

@@ -35,13 +35,21 @@ from repro.edge.server import EdgeServer, EdgeServerConfig
 from repro.mobility.campus import CampusConfig, CampusMap
 from repro.mobility.trajectory import GraphTrajectoryMobility, MobilityModel
 from repro.net.basestation import BaseStation, BaseStationConfig, place_base_stations
+from repro.net.controller import (
+    CellLoadEvent,
+    ControllerConfig,
+    GroupScopeEvent,
+    HandoverEvent,
+    RanController,
+)
+from repro.net.handover import HandoverConfig
 from repro.net.multicast import group_spectral_efficiency, resource_blocks_for_traffic
 from repro.sim.clock import SimulationClock
 from repro.sim.config import SimulationConfig
 from repro.sim.metrics import MetricRecorder
 from repro.twin.collector import StatusCollector
 from repro.twin.manager import DigitalTwinManager
-from repro.twin.attributes import standard_attributes
+from repro.twin.attributes import SERVING_CELL, serving_cell_attribute, standard_attributes
 from repro.video.catalog import CatalogConfig, Video, VideoCatalog
 from repro.video.popularity import sample_index, sampling_cdf
 from repro.video.representations import Representation
@@ -86,6 +94,37 @@ class IntervalResult:
     usage_by_group: Dict[int, GroupIntervalUsage] = field(default_factory=dict)
     events_by_user: Dict[int, List[ViewingEvent]] = field(default_factory=dict)
     mean_snr_by_user: Dict[int, float] = field(default_factory=dict)
+    #: RAN-controller outputs; empty in ``controller_mode="boundary"``.
+    cell_of_group: Dict[int, int] = field(default_factory=dict)
+    handover_events: List[HandoverEvent] = field(default_factory=list)
+    group_scope_events: List[GroupScopeEvent] = field(default_factory=list)
+    cell_load_events: List[CellLoadEvent] = field(default_factory=list)
+    rb_utilization_by_cell: Dict[int, float] = field(default_factory=dict)
+    rb_budget_by_cell: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def num_handovers(self) -> int:
+        return len(self.handover_events)
+
+    @property
+    def rb_demand_by_cell(self) -> Dict[int, float]:
+        """Finite resource-block demand per serving cell (handover mode)."""
+        demand: Dict[int, float] = {}
+        for group_id, usage in self.usage_by_group.items():
+            cell_id = self.cell_of_group.get(group_id)
+            if cell_id is not None and np.isfinite(usage.resource_blocks):
+                demand[cell_id] = demand.get(cell_id, 0.0) + usage.resource_blocks
+        return demand
+
+    @property
+    def outage_groups_by_cell(self) -> Dict[int, List[int]]:
+        """Outage groups keyed by their serving cell (handover mode)."""
+        outages: Dict[int, List[int]] = {}
+        for group_id in self.outage_groups:
+            cell_id = self.cell_of_group.get(group_id)
+            if cell_id is not None:
+                outages.setdefault(cell_id, []).append(group_id)
+        return outages
 
     @property
     def outage_groups(self) -> List[int]:
@@ -169,6 +208,7 @@ class StreamingSimulator:
                 num_resource_blocks=config.num_resource_blocks,
             ),
         )
+        self._bs_by_id = {bs.bs_id: bs for bs in self.base_stations}
 
         # Users.
         self.users: Dict[int, UserState] = {}
@@ -196,6 +236,26 @@ class StreamingSimulator:
             )
         self._associate_users(time_s=0.0)
 
+        # Event-driven multi-cell RAN controller (handover mode only; the
+        # default boundary mode keeps the pre-controller behaviour exactly).
+        self.controller: Optional[RanController] = None
+        if config.controller_mode == "handover":
+            self.controller = RanController(
+                self.base_stations,
+                ControllerConfig(
+                    handover=HandoverConfig(
+                        hysteresis_db=config.handover_hysteresis_db,
+                        time_to_trigger_s=config.handover_time_to_trigger_s,
+                        sample_period_s=config.handover_sample_period_s,
+                    ),
+                    overload_threshold=config.cell_overload_threshold,
+                    underload_threshold=config.cell_underload_threshold,
+                    rebalance_fraction=config.cell_rebalance_fraction,
+                ),
+            )
+            for user_id, user in self.users.items():
+                self.controller.attach_user(user_id, user.serving_bs_id)
+
         # Edge server.
         self.edge = EdgeServer(
             self.catalog,
@@ -206,10 +266,13 @@ class StreamingSimulator:
         )
         self.edge.warm_cache()
 
-        # Digital twins.
-        self.twins = DigitalTwinManager(
-            attributes=standard_attributes(num_categories=len(config.categories))
-        )
+        # Digital twins.  The serving-cell attribute is only collected when
+        # the RAN controller is active, so boundary-mode twins keep their
+        # pre-controller contents (and RNG draws) bit-for-bit.
+        attributes = standard_attributes(num_categories=len(config.categories))
+        if self.controller is not None:
+            attributes[SERVING_CELL] = serving_cell_attribute()
+        self.twins = DigitalTwinManager(attributes=attributes)
         self.twins.register_users(self.users.keys())
         self.collector = StatusCollector(
             policy=config.collection_policy,
@@ -263,6 +326,8 @@ class StreamingSimulator:
         position = mobility.position(self.clock.now_s)
         best = max(self.base_stations, key=lambda bs: bs.mean_snr_db(position))
         self.users[user_id].serving_bs_id = best.bs_id
+        if self.controller is not None:
+            self.controller.attach_user(user_id, best.bs_id)
         return user_id
 
     def remove_user(self, user_id: int, keep_twin: bool = True) -> None:
@@ -270,6 +335,8 @@ class StreamingSimulator:
         if user_id not in self.users:
             raise KeyError(f"unknown user {user_id}")
         del self.users[user_id]
+        if self.controller is not None:
+            self.controller.detach_user(user_id)
         if not keep_twin:
             self.twins.remove_user(user_id)
 
@@ -292,10 +359,12 @@ class StreamingSimulator:
             user.serving_bs_id = self.base_stations[int(bs_index)].bs_id
 
     def _base_station(self, bs_id: int) -> BaseStation:
-        for bs in self.base_stations:
-            if bs.bs_id == bs_id:
-                return bs
-        raise KeyError(f"unknown base station {bs_id}")
+        # Dict lookup (built once at construction): this runs once per user
+        # per interval, so a linear scan over base stations adds up.
+        try:
+            return self._bs_by_id[bs_id]
+        except KeyError:
+            raise KeyError(f"unknown base station {bs_id}") from None
 
     # ------------------------------------------------------------ radio side
     def sample_member_snrs(
@@ -365,13 +434,29 @@ class StreamingSimulator:
         self._validate_grouping(grouping)
         interval_index = self.clock.current_interval
         start_s, end_s = self.clock.interval_bounds(interval_index)
-        self._associate_users(start_s)
 
         result = IntervalResult(interval_index=interval_index, start_s=start_s, end_s=end_s)
+        if self.controller is None:
+            # Boundary mode: strongest-cell argmax at every interval start,
+            # groups played exactly as given (the pre-controller behaviour).
+            self._associate_users(start_s)
+            played_grouping: Mapping[int, Sequence[int]] = grouping
+        else:
+            # Handover mode: association evolves only through handover
+            # events (applied at the end of the previous interval); each
+            # logical group is scoped per serving cell, because a multicast
+            # channel -- and the worst-member rule -- spans one cell only.
+            scoped, cell_of_group, scope_events = self.controller.scope_grouping(
+                grouping, time_s=start_s
+            )
+            played_grouping = scoped
+            result.cell_of_group = cell_of_group
+            result.group_scope_events = scope_events
+
         events_by_user: Dict[int, List[ViewingEvent]] = {uid: [] for uid in self.users}
         transcode_requests: Dict[int, List[tuple]] = {}
 
-        for group_id, member_ids in grouping.items():
+        for group_id, member_ids in played_grouping.items():
             member_ids = list(member_ids)
             efficiency, representation, mean_snrs = self.group_link_state(
                 member_ids, start_s, end_s
@@ -400,6 +485,13 @@ class StreamingSimulator:
         self._update_popularity(events_by_user)
 
         result.events_by_user = events_by_user
+
+        # RAN-controller end-of-interval phase: handover evaluation on
+        # mid-interval samples (events applied for the *next* interval),
+        # per-cell load reports and budget rebalancing.
+        if self.controller is not None:
+            self._run_controller_phase(result, start_s, end_s)
+
         self.history.append(result)
         self.metrics.record("radio.total_resource_blocks", result.total_resource_blocks)
         self.metrics.record("radio.outage_groups", float(len(result.outage_groups)))
@@ -407,6 +499,62 @@ class StreamingSimulator:
         self.metrics.record("traffic.total_bits", result.total_traffic_bits)
         self.clock.advance_interval()
         return result
+
+    def _run_controller_phase(
+        self, result: IntervalResult, start_s: float, end_s: float
+    ) -> None:
+        """Handover + load-balancing bookkeeping for one finished interval."""
+        assert self.controller is not None
+        controller = self.controller
+
+        # Handover: one batched position query per user over the interval's
+        # measurement grid, one mean-SNR tensor, no randomness consumed.
+        user_ids = self.user_ids()
+        times = controller.policy.measurement_times(start_s, end_s)
+        if user_ids and times.size:
+            positions = np.stack(
+                [self.users[uid].mobility.positions(times) for uid in user_ids], axis=1
+            )
+        else:
+            positions = np.zeros((times.size, len(user_ids), 2))
+        result.handover_events = controller.observe_interval(
+            times, positions, user_ids, end_s
+        )
+        for user_id in user_ids:
+            self.users[user_id].serving_bs_id = controller.serving_cell[user_id]
+
+        # Per-cell load accounting and budget rebalancing.
+        outage_by_cell = {
+            cell_id: len(groups) for cell_id, groups in result.outage_groups_by_cell.items()
+        }
+        load_events, utilization = controller.finish_interval(
+            result.rb_demand_by_cell, outage_by_cell, time_s=end_s
+        )
+        result.cell_load_events = load_events
+        result.rb_utilization_by_cell = utilization
+        # Pre-rebalance snapshot, so utilization == demand / budget holds on
+        # this result; the rebalanced budgets (in force next interval) are
+        # available via controller.rb_budget_by_cell().
+        result.rb_budget_by_cell = {e.cell_id: e.budget_blocks for e in load_events}
+
+        splits = sum(1 for e in result.group_scope_events if e.kind == "split")
+        merges = sum(1 for e in result.group_scope_events if e.kind == "merge")
+        moves = sum(1 for e in result.group_scope_events if e.kind == "move")
+        self.metrics.record("ran.handovers", float(result.num_handovers))
+        self.metrics.record("ran.group_splits", float(splits))
+        self.metrics.record("ran.group_merges", float(merges))
+        self.metrics.record("ran.group_moves", float(moves))
+        self.metrics.record(
+            "ran.cells_overloaded", float(sum(1 for e in load_events if e.overloaded))
+        )
+        for event in load_events:
+            if np.isfinite(event.utilization):
+                self.metrics.record(
+                    f"ran.cell{event.cell_id}.rb_utilization", event.utilization
+                )
+            self.metrics.record(
+                f"ran.cell{event.cell_id}.outage_groups", float(event.outage_groups)
+            )
 
     def run(
         self,
@@ -523,6 +671,7 @@ class StreamingSimulator:
         start_s: float,
         end_s: float,
     ) -> None:
+        report_cells = self.controller is not None
         for uid, user in self.users.items():
             self.collector.collect_interval(
                 self.twins.twin(uid),
@@ -533,6 +682,7 @@ class StreamingSimulator:
                 start_s,
                 end_s,
                 rng=self._rng,
+                serving_cell=user.serving_bs_id if report_cells else None,
             )
 
     def _update_preferences(self, events_by_user: Dict[int, List[ViewingEvent]]) -> None:

@@ -43,6 +43,10 @@ CHANNEL_CONDITION = "channel_condition"
 LOCATION = "location"
 WATCHING_DURATION = "watching_duration"
 PREFERENCE = "preference"
+#: Serving-cell attribute collected when the multi-cell RAN controller is
+#: active (``controller_mode="handover"``); not part of the standard set so
+#: single-cell twins keep their pre-controller contents bit-for-bit.
+SERVING_CELL = "serving_cell"
 
 STANDARD_ATTRIBUTE_NAMES: Tuple[str, ...] = (
     CHANNEL_CONDITION,
@@ -89,6 +93,16 @@ def standard_attributes(
         ),
     )
     return {spec.name: spec for spec in specs}
+
+
+def serving_cell_attribute(collection_period_s: float = 60.0) -> AttributeSpec:
+    """Attribute spec for the serving-cell id reported by the RAN controller."""
+    return AttributeSpec(
+        SERVING_CELL,
+        dimension=1,
+        collection_period_s=collection_period_s,
+        description="id of the base station currently serving the user",
+    )
 
 
 #: Default attribute set with the default periods and 8 video categories.

@@ -25,7 +25,7 @@ from repro.behavior.preference import PreferenceVector
 from repro.behavior.session import ViewingEvent
 from repro.mobility.trajectory import MobilityModel
 from repro.net.basestation import BaseStation
-from repro.twin.attributes import CHANNEL_CONDITION, LOCATION, PREFERENCE
+from repro.twin.attributes import CHANNEL_CONDITION, LOCATION, PREFERENCE, SERVING_CELL
 from repro.twin.udt import UserDigitalTwin
 
 
@@ -108,6 +108,7 @@ class StatusCollector:
         start_s: float,
         end_s: float,
         rng: Optional[np.random.Generator] = None,
+        serving_cell: Optional[int] = None,
     ) -> None:
         """Collect one reservation interval's worth of status for one user.
 
@@ -159,4 +160,14 @@ class StatusCollector:
             if times.size:
                 udt.record_batch(
                     PREFERENCE, times + delay, np.tile(vector, (times.shape[0], 1))
+                )
+
+        # Serving cell (only collected when the RAN controller reports it).
+        if serving_cell is not None and SERVING_CELL in udt.attributes:
+            times = self._kept_times(udt, SERVING_CELL, start_s, end_s)
+            if times.size:
+                udt.record_batch(
+                    SERVING_CELL,
+                    times + delay,
+                    np.full((times.shape[0], 1), float(serving_cell)),
                 )
