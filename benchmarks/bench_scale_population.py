@@ -12,12 +12,26 @@ the shared generator in exactly the scalar order).  The legacy twin stores
 remain array-backed; store appends are a negligible share of interval cost,
 so the comparison is conservative.
 
+PR 3 adds two comparisons of the **batched interval engine** under a
+multicast grouping (users/10 groups, the pipeline's shape):
+
+* ``channel_draw_mode="fast"`` (one SNR tensor per base station per interval
+  plus whole-array watch-duration draws) against ``"compat"`` — the PR 2
+  sequential per-group path, which is preserved bit-for-bit — at 100 and 500
+  users, and
+* the incremental twin feature cache against full recomputes over the
+  prediction pipeline's sliding feature-tensor windows.
+
 Run standalone (``PYTHONPATH=src python benchmarks/bench_scale_population.py``)
-or under pytest-benchmark like the other benches.
+or under pytest-benchmark like the other benches.  ``--quick`` runs a
+CI-sized smoke variant (small populations, no legacy comparison) and writes
+``benchmarks/results/scale_population_quick.json`` instead, leaving the
+committed full record untouched.
 """
 
 from __future__ import annotations
 
+import sys
 import time
 from typing import Dict, List, Sequence
 
@@ -32,7 +46,9 @@ from repro.twin.attributes import CHANNEL_CONDITION, LOCATION, PREFERENCE
 POPULATIONS = (25, 50, 100, 200)
 INTERVALS = 3
 COMPARISON_USERS = 100
+BATCHED_POPULATIONS = (100, 500)
 MIN_SPEEDUP = 5.0
+MIN_BATCHED_SPEEDUP = 1.1
 SEED = 7
 
 
@@ -263,8 +279,17 @@ def _legacy_play_group_stream(sim: StreamingSimulator):
     return play
 
 
-def build_simulator(users: int, legacy: bool = False) -> StreamingSimulator:
-    sim = StreamingSimulator(SimulationConfig(num_users=users, num_intervals=INTERVALS, seed=SEED))
+def build_simulator(
+    users: int, legacy: bool = False, draw_mode: str = "compat"
+) -> StreamingSimulator:
+    sim = StreamingSimulator(
+        SimulationConfig(
+            num_users=users,
+            num_intervals=INTERVALS,
+            seed=SEED,
+            channel_draw_mode=draw_mode,
+        )
+    )
     if legacy:
         sim.sample_member_snrs = _legacy_sample_member_snrs(sim)
         sim._associate_users = _legacy_associate_users(sim)
@@ -277,11 +302,11 @@ def build_simulator(users: int, legacy: bool = False) -> StreamingSimulator:
 
 
 # -------------------------------------------------------------- measurement
-def run_intervals(sim: StreamingSimulator) -> tuple:
-    """``(elapsed_s, per_interval_totals)`` over ``INTERVALS`` intervals."""
+def run_intervals(sim: StreamingSimulator, intervals: int = INTERVALS) -> tuple:
+    """``(elapsed_s, per_interval_totals)`` over ``intervals`` intervals."""
     totals: List[tuple] = []
     started = time.perf_counter()
-    for _ in range(INTERVALS):
+    for _ in range(intervals):
         result = sim.run_interval(singleton_grouping(sim.user_ids()))
         totals.append(
             (
@@ -291,6 +316,104 @@ def run_intervals(sim: StreamingSimulator) -> tuple:
             )
         )
     return time.perf_counter() - started, totals
+
+
+def _multicast_grouping(sim: StreamingSimulator, group_size: int = 10) -> Dict[int, List[int]]:
+    """The pipeline-shaped grouping: ~``group_size`` members per group."""
+    user_ids = sim.user_ids()
+    num_groups = max(len(user_ids) // group_size, 1)
+    grouping: Dict[int, List[int]] = {gid: [] for gid in range(num_groups)}
+    for index, uid in enumerate(user_ids):
+        grouping[index % num_groups].append(uid)
+    return grouping
+
+
+def run_multicast_intervals(sim: StreamingSimulator, intervals: int = INTERVALS) -> float:
+    grouping = _multicast_grouping(sim)
+    started = time.perf_counter()
+    for _ in range(intervals):
+        sim.run_interval(grouping)
+    return time.perf_counter() - started
+
+
+def batched_engine_experiment(records: List[dict], populations=BATCHED_POPULATIONS,
+                              intervals: int = INTERVALS) -> Dict[int, float]:
+    """Batched (fast) engine vs the sequential PR 2 (compat) hot path."""
+    speedups: Dict[int, float] = {}
+    for users in populations:
+        compat_elapsed = run_multicast_intervals(
+            build_simulator(users, draw_mode="compat"), intervals
+        )
+        fast_elapsed = run_multicast_intervals(
+            build_simulator(users, draw_mode="fast"), intervals
+        )
+        speedups[users] = compat_elapsed / fast_elapsed
+        records.append(
+            benchmark_record(
+                "scale_population_batched_engine",
+                elapsed_s=fast_elapsed,
+                users=users,
+                intervals=intervals,
+                engine="batched",
+                compat_elapsed_s=compat_elapsed,
+                speedup=speedups[users],
+            )
+        )
+    return speedups
+
+
+def feature_cache_experiment(records: List[dict], users: int = COMPARISON_USERS,
+                             intervals: int = 8, history: int = 4) -> Dict[str, float]:
+    """Feature-tensor access patterns with vs without the incremental cache.
+
+    Two patterns, against the twins a simulated run produced:
+
+    * ``slide`` — the prediction pipeline's pattern: a fixed-width history
+      window of ``history`` intervals advancing one interval at a time (32
+      grid steps, so the slide stays grid-aligned and only ``32/history``
+      of the rows carry new data), and
+    * ``requery`` — repeated queries of an unchanged window (the documented
+      predict-inspect-then-step flow and analytics re-reads), which the
+      cache serves without touching the stores at all.
+
+    Returns the uncached/cached speedup per pattern.
+    """
+    sim = build_simulator(users, draw_mode="fast")
+    run_multicast_intervals(sim, intervals)
+    interval_s = sim.config.interval_s
+    slide = [
+        ((k - history) * interval_s, k * interval_s)
+        for k in range(history, intervals + 1)
+    ]
+    patterns = {"slide": (slide, True), "requery": ([slide[-1]] * len(slide), False)}
+    speedups: Dict[str, float] = {}
+    for pattern, (windows, reset_between_passes) in patterns.items():
+        timings = {}
+        for cached in (False, True):
+            sim.twins.feature_cache_enabled = cached
+            sim.twins._feature_cache.clear()
+            started = time.perf_counter()
+            for _ in range(5):
+                if reset_between_passes:
+                    sim.twins._feature_cache.clear()
+                for start_s, end_s in windows:
+                    sim.twins.feature_tensor(start_s, end_s, num_steps=32)
+            timings[cached] = time.perf_counter() - started
+        speedups[pattern] = timings[False] / timings[True]
+        records.append(
+            benchmark_record(
+                "scale_population_feature_cache",
+                elapsed_s=timings[True],
+                users=users,
+                intervals=intervals,
+                engine="feature-cache",
+                pattern=pattern,
+                uncached_elapsed_s=timings[False],
+                windows=len(windows),
+                speedup=speedups[pattern],
+            )
+        )
+    return speedups
 
 
 def scale_experiment() -> dict:
@@ -333,11 +456,53 @@ def scale_experiment() -> dict:
             totals_identical=vec_totals == legacy_totals,
         )
     )
+    batched_speedups = batched_engine_experiment(records)
+    cache_speedups = feature_cache_experiment(records)
+
     path = write_benchmark_json("scale_population", records)
     return {
         "summary": summary,
         "speedup": speedup,
         "totals_identical": vec_totals == legacy_totals,
+        "batched_speedups": batched_speedups,
+        "feature_cache_speedups": cache_speedups,
+        "json_path": str(path),
+    }
+
+
+def quick_experiment() -> dict:
+    """CI smoke variant: tiny populations, no legacy comparison.
+
+    Exercises the same record format and the batched-engine / feature-cache
+    comparisons so the harness JSON stays covered, but completes in seconds.
+    Writes ``scale_population_quick.json`` so the committed full record is
+    not clobbered by CI runs.
+    """
+    records = []
+    summary: dict = {}
+    for users in (25, 50):
+        elapsed, _ = run_intervals(build_simulator(users), intervals=1)
+        records.append(
+            benchmark_record(
+                "scale_population",
+                elapsed_s=elapsed,
+                users=users,
+                intervals=1,
+                engine="vectorized",
+                quick=True,
+            )
+        )
+        summary[users] = elapsed
+    batched_speedups = batched_engine_experiment(records, populations=(50,), intervals=1)
+    # history=2 keeps the 32-step grid aligned across a 16-row slide, so the
+    # quick record exercises the cache's partial-reuse path, not just
+    # full recomputes.
+    cache_speedups = feature_cache_experiment(records, users=50, intervals=3, history=2)
+    path = write_benchmark_json("scale_population_quick", records)
+    return {
+        "summary": summary,
+        "batched_speedups": batched_speedups,
+        "feature_cache_speedups": cache_speedups,
         "json_path": str(path),
     }
 
@@ -348,11 +513,16 @@ def report(result: dict) -> None:
     print(f"{'users':>6s} {'s/interval':>11s}")
     for users, per_interval in sorted(result["summary"].items()):
         print(f"{users:>6d} {per_interval:>11.3f}")
-    print(
-        f"vs legacy engine at {COMPARISON_USERS} users: "
-        f"{result['speedup']:.1f}x faster, identical-seed totals "
-        f"{'preserved' if result['totals_identical'] else 'DIVERGED'}"
-    )
+    if "speedup" in result:
+        print(
+            f"vs legacy engine at {COMPARISON_USERS} users: "
+            f"{result['speedup']:.1f}x faster, identical-seed totals "
+            f"{'preserved' if result['totals_identical'] else 'DIVERGED'}"
+        )
+    for users, value in sorted(result["batched_speedups"].items()):
+        print(f"batched engine (fast vs compat, multicast) at {users} users: {value:.2f}x")
+    for pattern, value in sorted(result["feature_cache_speedups"].items()):
+        print(f"incremental feature cache ({pattern} windows): {value:.2f}x")
     print(f"JSON record: {result['json_path']}")
 
 
@@ -361,6 +531,15 @@ def _assertions(result: dict) -> None:
     assert result["speedup"] >= MIN_SPEEDUP, (
         f"expected >= {MIN_SPEEDUP}x speedup at {COMPARISON_USERS} users, "
         f"got {result['speedup']:.2f}x"
+    )
+    for users, value in result["batched_speedups"].items():
+        assert value >= MIN_BATCHED_SPEEDUP, (
+            f"expected >= {MIN_BATCHED_SPEEDUP}x batched-engine speedup at "
+            f"{users} users, got {value:.2f}x"
+        )
+    assert result["feature_cache_speedups"]["requery"] >= 2.0, (
+        "expected the feature cache to serve unchanged windows >= 2x faster, got "
+        f"{result['feature_cache_speedups']['requery']:.2f}x"
     )
 
 
@@ -371,6 +550,9 @@ def bench_scale_population(benchmark):
 
 
 if __name__ == "__main__":
-    result = scale_experiment()
-    report(result)
-    _assertions(result)
+    if "--quick" in sys.argv[1:]:
+        report(quick_experiment())
+    else:
+        result = scale_experiment()
+        report(result)
+        _assertions(result)

@@ -120,6 +120,35 @@ class WatchingDurationModel:
         fraction = float(rng.beta(alpha, beta))
         return float(fraction * video.duration_s)
 
+    def sample_watch_durations(
+        self,
+        video: Video,
+        preference_weights: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Sample one watch duration per viewer in a single batched draw.
+
+        ``preference_weights`` holds each viewer's preference weight for
+        ``video``'s category.  The marginal distribution of every entry is
+        identical to :meth:`sample_watch_duration`; only the generator walk
+        differs (one ``random`` array and one ``beta`` array per call instead
+        of interleaved scalar draws), which is what the batched interval
+        engine ("fast" draw mode) wants on its hot path.
+        """
+        weights = np.asarray(preference_weights, dtype=np.float64)
+        completion = np.minimum(
+            self.completion_probability_gain * weights, self.MAX_COMPLETION_PROBABILITY
+        )
+        mean = np.minimum(
+            self.base_mean_fraction * (1.0 + self.preference_gain * weights),
+            self.MAX_MEAN_WATCHED_FRACTION,
+        )
+        alpha = mean * self.concentration
+        beta = (1.0 - mean) * self.concentration
+        completed = rng.random(weights.shape[0]) < completion
+        fractions = rng.beta(alpha, beta)
+        return np.where(completed, 1.0, fractions) * video.duration_s
+
     def expected_watch_duration(self, video: Video, preference: PreferenceVector) -> float:
         """Closed-form expectation of the watch duration (used by predictors)."""
         weight = preference.weight(video.category)

@@ -129,7 +129,7 @@ class GroupDemandPredictor:
         efficiency = spectral_efficiency(
             worst, implementation_loss=self.config.implementation_loss
         )
-        ladder = self.catalog.get(self.catalog.video_ids()[0]).ladder
+        ladder = self.catalog.reference_ladder()
         representation = ladder.best_fitting(efficiency * self.config.stream_bandwidth_hz)
         return efficiency, representation
 
@@ -295,3 +295,24 @@ class GroupDemandPredictor:
     @staticmethod
     def total_computing_cycles(predictions: Mapping[int, GroupDemandPrediction]) -> float:
         return float(sum(p.computing_cycles for p in predictions.values()))
+
+    @staticmethod
+    def radio_blocks_by_cell(
+        predictions: Mapping[int, GroupDemandPrediction],
+        cell_of_group: Mapping[int, int],
+    ) -> Dict[int, float]:
+        """Finite predicted resource blocks summed per serving cell.
+
+        ``cell_of_group`` maps scoped group ids to cells (the RAN
+        controller's :meth:`~repro.net.controller.RanController.preview_scope`
+        output); predictions for groups without a cell mapping — e.g. in
+        boundary mode — are skipped, as are predicted-outage groups
+        (infinite block demand), mirroring
+        :meth:`IntervalResult.rb_demand_by_cell` on the actual side.
+        """
+        totals: Dict[int, float] = {}
+        for group_id, prediction in predictions.items():
+            cell_id = cell_of_group.get(group_id)
+            if cell_id is not None and np.isfinite(prediction.radio_resource_blocks):
+                totals[cell_id] = totals.get(cell_id, 0.0) + prediction.radio_resource_blocks
+        return totals

@@ -23,7 +23,11 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.core.accuracy import mean_prediction_accuracy, prediction_accuracy
+from repro.core.accuracy import (
+    mean_prediction_accuracy,
+    prediction_accuracy,
+    prediction_accuracy_series,
+)
 from repro.core.config import SchemeConfig
 from repro.core.demand import DemandPredictorConfig, GroupDemandPrediction, GroupDemandPredictor
 from repro.core.features import CompressorConfig, UDTFeatureCompressor
@@ -45,6 +49,13 @@ class IntervalEvaluation:
     actual_radio_blocks: float
     predicted_computing_cycles: float
     actual_computing_cycles: float
+    #: Per-cell predicted/actual radio demand (handover mode only; empty in
+    #: boundary mode).  ``profiles`` / ``predictions`` are keyed by the
+    #: controller's scoped (per-cell) group ids there, and ``cell_of_group``
+    #: maps those ids to serving cells.
+    predicted_radio_by_cell: Dict[int, float] = field(default_factory=dict)
+    actual_radio_by_cell: Dict[int, float] = field(default_factory=dict)
+    cell_of_group: Dict[int, int] = field(default_factory=dict)
 
     @property
     def radio_accuracy(self) -> float:
@@ -55,6 +66,18 @@ class IntervalEvaluation:
         return prediction_accuracy(
             self.predicted_computing_cycles, self.actual_computing_cycles
         )
+
+    @property
+    def radio_accuracy_by_cell(self) -> Dict[int, float]:
+        """Per-cell prediction accuracy over this interval (handover mode)."""
+        cells = set(self.predicted_radio_by_cell) | set(self.actual_radio_by_cell)
+        return {
+            cell_id: prediction_accuracy(
+                self.predicted_radio_by_cell.get(cell_id, 0.0),
+                self.actual_radio_by_cell.get(cell_id, 0.0),
+            )
+            for cell_id in sorted(cells)
+        }
 
 
 @dataclass
@@ -81,16 +104,21 @@ class EvaluationResult:
                     "predicted_computing_cycles": e.predicted_computing_cycles,
                     "actual_computing_cycles": e.actual_computing_cycles,
                     "computing_accuracy": e.computing_accuracy,
+                    "predicted_radio_by_cell": dict(e.predicted_radio_by_cell),
+                    "actual_radio_by_cell": dict(e.actual_radio_by_cell),
                 }
                 for e in self.intervals
             ],
-            "summary": {
-                "mean_radio_accuracy": self.mean_radio_accuracy(),
-                "max_radio_accuracy": self.max_radio_accuracy(),
-                "mean_computing_accuracy": self.mean_computing_accuracy(),
-            }
-            if self.intervals
-            else {},
+            "summary": (
+                {
+                    "mean_radio_accuracy": self.mean_radio_accuracy(),
+                    "max_radio_accuracy": self.max_radio_accuracy(),
+                    "mean_computing_accuracy": self.mean_computing_accuracy(),
+                    "mean_radio_accuracy_by_cell": self.mean_radio_accuracy_by_cell(),
+                }
+                if self.intervals
+                else {}
+            ),
         }
 
     def predicted_radio_series(self) -> np.ndarray:
@@ -107,6 +135,48 @@ class EvaluationResult:
 
     def radio_accuracy_series(self) -> np.ndarray:
         return np.array([e.radio_accuracy for e in self.intervals])
+
+    # --------------------------------------------------- per-cell series
+    def cells(self) -> List[int]:
+        """Cells that carried predicted or actual demand (handover mode)."""
+        cell_ids: set = set()
+        for e in self.intervals:
+            cell_ids.update(e.predicted_radio_by_cell)
+            cell_ids.update(e.actual_radio_by_cell)
+        return sorted(cell_ids)
+
+    def predicted_radio_series_by_cell(self) -> Dict[int, np.ndarray]:
+        """Per-cell predicted radio demand, one aligned series per cell."""
+        return {
+            cell_id: np.array(
+                [e.predicted_radio_by_cell.get(cell_id, 0.0) for e in self.intervals]
+            )
+            for cell_id in self.cells()
+        }
+
+    def actual_radio_series_by_cell(self) -> Dict[int, np.ndarray]:
+        """Per-cell actual radio demand, one aligned series per cell."""
+        return {
+            cell_id: np.array(
+                [e.actual_radio_by_cell.get(cell_id, 0.0) for e in self.intervals]
+            )
+            for cell_id in self.cells()
+        }
+
+    def radio_accuracy_series_by_cell(self) -> Dict[int, np.ndarray]:
+        """Per-cell predicted-vs-actual accuracy series (handover mode)."""
+        predicted = self.predicted_radio_series_by_cell()
+        actual = self.actual_radio_series_by_cell()
+        return {
+            cell_id: prediction_accuracy_series(predicted[cell_id], actual[cell_id])
+            for cell_id in predicted
+        }
+
+    def mean_radio_accuracy_by_cell(self) -> Dict[int, float]:
+        return {
+            cell_id: float(series.mean())
+            for cell_id, series in self.radio_accuracy_series_by_cell().items()
+        }
 
     def computing_accuracy_series(self) -> np.ndarray:
         return np.array([e.computing_accuracy for e in self.intervals])
@@ -188,6 +258,9 @@ class DTResourcePredictionScheme:
         self.fixed_k: Optional[int] = None
         self.warmed_up = False
         self._warmup_snapshots: List[np.ndarray] = []
+        #: Scoped-group → cell map of the most recent prediction (written by
+        #: predict_next_interval, consumed by step; empty in boundary mode).
+        self._last_cell_of_group: Dict[int, int] = {}
 
     # --------------------------------------------------------------- warm-up
     def _round_robin_grouping(self, num_groups: int) -> Dict[int, List[int]]:
@@ -247,6 +320,15 @@ class DTResourcePredictionScheme:
         Returns ``(grouping_result, profiles, predictions)`` without running
         the simulator, so callers can inspect the prediction before the
         interval plays out.
+
+        Under ``controller_mode="handover"`` the logical groups are first
+        mapped through the controller's current associations
+        (:meth:`~repro.sim.simulator.StreamingSimulator.preview_scoped_grouping`),
+        and ``profiles`` / ``predictions`` are keyed by the *scoped*
+        (per-cell) group ids the simulator will actually play — a multicast
+        channel, and hence the worst-member rule the demand prediction
+        models, spans a single base station.  In boundary mode the scoped
+        ids equal the logical ids and nothing changes.
         """
         if not self.warmed_up:
             raise RuntimeError("call warm_up() before predicting")
@@ -262,10 +344,17 @@ class DTResourcePredictionScheme:
             num_groups=self.fixed_k,
             k_strategy=self.k_strategy,
         )
+        scoped_groups, cell_of_group = self.simulator.preview_scoped_grouping(
+            grouping.groups()
+        )
+        # Stashed for step(): associations only change through handover
+        # events applied at the end of the next interval, so this preview is
+        # exactly the scoping run_interval will play.
+        self._last_cell_of_group = cell_of_group
         categories = list(self.simulator.config.categories)
         profiles: Dict[int, GroupSwipingProfile] = {}
         predictions: Dict[int, GroupDemandPrediction] = {}
-        for group_id, member_ids in grouping.groups().items():
+        for group_id, member_ids in scoped_groups.items():
             profile = abstract_group_swiping(
                 group_id,
                 member_ids,
@@ -282,8 +371,15 @@ class DTResourcePredictionScheme:
         return grouping, profiles, predictions
 
     def step(self) -> IntervalEvaluation:
-        """Predict, run one interval, and score the prediction."""
+        """Predict, run one interval, and score the prediction.
+
+        In handover mode the per-cell split of the prediction (scoped group
+        → serving cell) is captured before the interval runs, and the
+        evaluation carries per-cell predicted/actual radio demand alongside
+        the population totals.
+        """
         grouping, profiles, predictions = self.predict_next_interval()
+        cell_of_group = self._last_cell_of_group
         actual = self.simulator.run_interval(grouping.groups())
         predicted_radio = GroupDemandPredictor.total_radio_blocks(predictions)
         predicted_compute = GroupDemandPredictor.total_computing_cycles(predictions)
@@ -297,6 +393,11 @@ class DTResourcePredictionScheme:
             actual_radio_blocks=actual.total_resource_blocks,
             predicted_computing_cycles=predicted_compute,
             actual_computing_cycles=actual.total_computing_cycles,
+            predicted_radio_by_cell=GroupDemandPredictor.radio_blocks_by_cell(
+                predictions, cell_of_group
+            ),
+            actual_radio_by_cell=dict(actual.rb_demand_by_cell),
+            cell_of_group=cell_of_group,
         )
 
     def run(self, num_intervals: Optional[int] = None) -> EvaluationResult:

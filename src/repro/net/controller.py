@@ -257,6 +257,34 @@ class RanController:
     def logical_group_id(self, scoped_group_id: int) -> int:
         return scoped_group_id // len(self.cell_ids)
 
+    def _split_by_cell(self, member_ids: Sequence[int]) -> Dict[int, List[int]]:
+        by_cell: Dict[int, List[int]] = {}
+        for uid in member_ids:
+            by_cell.setdefault(self.serving_cell[uid], []).append(uid)
+        return by_cell
+
+    def preview_scope(
+        self, grouping: Mapping[int, Sequence[int]]
+    ) -> Tuple[Dict[int, List[int]], Dict[int, int]]:
+        """Non-mutating view of :meth:`scope_grouping`.
+
+        Returns the ``(scoped_grouping, cell_of_group)`` the next
+        :meth:`scope_grouping` call would produce under the current
+        associations, without emitting :class:`GroupScopeEvent` records or
+        updating the per-group footprint state.  The DT prediction layer
+        uses it to predict demand against the per-cell groups the simulator
+        will actually play.
+        """
+        scoped: Dict[int, List[int]] = {}
+        cell_of_group: Dict[int, int] = {}
+        for logical_id, member_ids in grouping.items():
+            by_cell = self._split_by_cell(member_ids)
+            for cell_id in sorted(by_cell):
+                scoped_id = self.scoped_group_id(logical_id, cell_id)
+                scoped[scoped_id] = by_cell[cell_id]
+                cell_of_group[scoped_id] = cell_id
+        return scoped, cell_of_group
+
     def scope_grouping(
         self, grouping: Mapping[int, Sequence[int]], time_s: float
     ) -> Tuple[Dict[int, List[int]], Dict[int, int], List[GroupScopeEvent]]:
@@ -273,9 +301,7 @@ class RanController:
         cell_of_group: Dict[int, int] = {}
         fired: List[GroupScopeEvent] = []
         for logical_id, member_ids in grouping.items():
-            by_cell: Dict[int, List[int]] = {}
-            for uid in member_ids:
-                by_cell.setdefault(self.serving_cell[uid], []).append(uid)
+            by_cell = self._split_by_cell(member_ids)
             cells = frozenset(by_cell)
             previous = self._group_cells.get(logical_id, frozenset())
             kind = None

@@ -69,7 +69,7 @@ class PerUserDemandPredictor:
         snr_samples = twin.store(CHANNEL_CONDITION).window_values(start_s, end_s)
         mean_snr = float(snr_samples.mean()) if snr_samples.size else 0.0
         efficiency = spectral_efficiency(mean_snr, implementation_loss=self.implementation_loss)
-        ladder = self.catalog.get(self.catalog.video_ids()[0]).ladder
+        ladder = self.catalog.reference_ladder()
         representation = ladder.best_fitting(efficiency * self.stream_bandwidth_hz)
 
         # Behaviour: mean watch duration and mean bits per watched video.

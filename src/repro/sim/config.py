@@ -46,17 +46,21 @@ class SimulationConfig:
     stream_bandwidth_hz: float = 1.8e6  # bandwidth assumed per multicast stream
     implementation_loss: float = 0.9
     channel_sample_period_s: float = 5.0
-    #: How shadowing/fading randomness is drawn from the shared generator.
-    #: ``"compat"`` (default) draws per sample in the exact order of the
-    #: pre-vectorization scalar path, so any seed reproduces the scalar-era
-    #: streams bit-for-bit -- the mode every identical-seed regression
-    #: (goldens, engine-equivalence benchmarks) relies on.  ``"fast"`` uses
-    #: whole-array draws, ~1.5x faster at 100 users, with the *same* channel
-    #: statistics but a different generator walk: totals for a given seed
-    #: differ from compat mode, so use it where throughput matters and only
-    #: run-to-run determinism (not cross-mode seed compatibility) is needed,
-    #: e.g. the multi-cell handover benchmark.
-    channel_draw_mode: str = "compat"
+    #: How shadowing/fading randomness is drawn from the shared generator,
+    #: which also selects the per-interval engine.  ``"compat"`` draws per
+    #: sample in the exact order of the pre-vectorization scalar path, so any
+    #: seed reproduces the scalar-era streams bit-for-bit -- the mode every
+    #: identical-seed regression (goldens, engine-equivalence benchmarks)
+    #: relies on.  ``"fast"`` activates the batched interval engine: one SNR
+    #: tensor per (base station, interval) instead of per group member, and
+    #: whole-array watch-duration draws per video.  Same channel/behaviour
+    #: statistics, different generator walk: totals for a given seed differ
+    #: from compat mode, so use it where throughput matters and only
+    #: run-to-run determinism (not cross-mode seed compatibility) is needed.
+    #: The default ``None`` resolves to ``"fast"`` in
+    #: ``controller_mode="handover"`` (nothing there depends on scalar-era
+    #: streams) and ``"compat"`` in ``"boundary"`` mode.
+    channel_draw_mode: Optional[str] = None
 
     # Multi-cell RAN controller (see repro.net.controller).
     #: ``"boundary"`` keeps the pre-controller behaviour (strongest-cell
@@ -107,10 +111,17 @@ class SimulationConfig:
             raise ValueError("bandwidths must be positive")
         if self.channel_sample_period_s <= 0:
             raise ValueError("channel_sample_period_s must be positive")
-        if self.channel_draw_mode not in ("compat", "fast"):
-            raise ValueError("channel_draw_mode must be 'compat' or 'fast'")
         if self.controller_mode not in ("boundary", "handover"):
             raise ValueError("controller_mode must be 'boundary' or 'handover'")
+        if self.channel_draw_mode is None:
+            self.channel_draw_mode = (
+                "fast" if self.controller_mode == "handover" else "compat"
+            )
+        if self.channel_draw_mode not in ("compat", "fast"):
+            raise ValueError(
+                "channel_draw_mode must be 'compat' or 'fast' (or None for the "
+                f"controller-mode default), got {self.channel_draw_mode!r}"
+            )
         if self.handover_hysteresis_db < 0 or self.handover_time_to_trigger_s < 0:
             raise ValueError("handover hysteresis and time-to-trigger must be non-negative")
         if self.handover_sample_period_s <= 0:

@@ -399,9 +399,60 @@ class StreamingSimulator:
         efficiency = group_spectral_efficiency(
             list(mean_snrs.values()), implementation_loss=self.config.implementation_loss
         )
-        ladder = self.catalog.get(self.catalog.video_ids()[0]).ladder
+        ladder = self.catalog.reference_ladder()
         representation = ladder.best_fitting(efficiency * self.config.stream_bandwidth_hz)
         return efficiency, representation, mean_snrs
+
+    def _interval_link_states(
+        self, grouping: Mapping[int, Sequence[int]], start_s: float, end_s: float
+    ) -> Dict[int, tuple]:
+        """Stage 1 of the batched interval engine: every group's link state at once.
+
+        One batched :meth:`~repro.mobility.trajectory.MobilityModel.positions`
+        query per user and one ``sample_snr_db_batch`` tensor per base
+        station covering *all* the users it serves this interval (flattened
+        over ``(user, time)``), sliced back per user and reduced per group —
+        instead of one generator call per group member.  Only used in
+        ``channel_draw_mode="fast"``: the per-station whole-array draws walk
+        the shared generator differently from the compat (scalar-order)
+        stream, with identical channel statistics.
+
+        Returns ``{group_id: (efficiency, representation, mean_snr_by_user)}``
+        exactly as :meth:`group_link_state` would per group.
+        """
+        times = np.arange(start_s, end_s, self.config.channel_sample_period_s)
+        num_times = times.shape[0]
+        member_order = [uid for member_ids in grouping.values() for uid in member_ids]
+        positions = {
+            uid: self.users[uid].mobility.positions(times) for uid in member_order
+        }
+        by_station: Dict[int, List[int]] = {}
+        for uid in member_order:
+            by_station.setdefault(self.users[uid].serving_bs_id, []).append(uid)
+        mean_snr: Dict[int, float] = {}
+        for bs in self.base_stations:
+            served = by_station.get(bs.bs_id)
+            if not served:
+                continue
+            stacked = np.concatenate([positions[uid] for uid in served], axis=0)
+            traces = bs.sample_snr_db_batch(
+                stacked, rng=self._rng, interleaved=False
+            ).reshape(len(served), num_times)
+            for row, uid in enumerate(served):
+                mean_snr[uid] = float(traces[row].mean())
+        ladder = self.catalog.reference_ladder()
+        link_states: Dict[int, tuple] = {}
+        for group_id, member_ids in grouping.items():
+            mean_snrs = {uid: mean_snr[uid] for uid in member_ids}
+            efficiency = group_spectral_efficiency(
+                list(mean_snrs.values()),
+                implementation_loss=self.config.implementation_loss,
+            )
+            representation = ladder.best_fitting(
+                efficiency * self.config.stream_bandwidth_hz
+            )
+            link_states[group_id] = (efficiency, representation, mean_snrs)
+        return link_states
 
     # -------------------------------------------------------------- content
     def _group_preference(self, member_ids: Sequence[int]) -> PreferenceVector:
@@ -425,6 +476,21 @@ class StreamingSimulator:
         return mixture / mixture.sum()
 
     # ------------------------------------------------------------- intervals
+    def preview_scoped_grouping(
+        self, grouping: Mapping[int, Sequence[int]]
+    ) -> tuple:
+        """``(scoped_grouping, cell_of_group)`` the next interval will play.
+
+        In handover mode this applies the controller's *current* associations
+        to ``grouping`` without mutating controller state (no scope events,
+        no footprint updates), so the prediction layer can target exactly the
+        per-cell multicast channels :meth:`run_interval` is about to create.
+        Boundary mode returns the grouping unchanged with an empty cell map.
+        """
+        if self.controller is None:
+            return {gid: list(members) for gid, members in grouping.items()}, {}
+        return self.controller.preview_scope(grouping)
+
     def run_interval(self, grouping: Mapping[int, Sequence[int]]) -> IntervalResult:
         """Play out the next reservation interval under ``grouping``.
 
@@ -456,11 +522,24 @@ class StreamingSimulator:
         events_by_user: Dict[int, List[ViewingEvent]] = {uid: [] for uid in self.users}
         transcode_requests: Dict[int, List[tuple]] = {}
 
+        # Fast draw mode runs the staged engine: one SNR tensor per base
+        # station for the whole interval instead of per-member sampling
+        # inside the group loop.  Compat mode keeps the sequential per-group
+        # path so the scalar-era generator stream is preserved bit-for-bit.
+        link_states = (
+            self._interval_link_states(played_grouping, start_s, end_s)
+            if self.config.channel_draw_mode == "fast"
+            else None
+        )
+
         for group_id, member_ids in played_grouping.items():
             member_ids = list(member_ids)
-            efficiency, representation, mean_snrs = self.group_link_state(
-                member_ids, start_s, end_s
-            )
+            if link_states is not None:
+                efficiency, representation, mean_snrs = link_states[group_id]
+            else:
+                efficiency, representation, mean_snrs = self.group_link_state(
+                    member_ids, start_s, end_s
+                )
             result.mean_snr_by_user.update(mean_snrs)
             usage = self._play_group_stream(
                 group_id,
@@ -600,14 +679,30 @@ class StreamingSimulator:
         events_by_user: Dict[int, List[ViewingEvent]],
         transcode_requests: Dict[int, List[tuple]],
     ) -> GroupIntervalUsage:
-        """Play the shared multicast stream of one group for one interval."""
+        """Play the shared multicast stream of one group for one interval.
+
+        In ``channel_draw_mode="fast"`` the per-member watch-duration
+        sampling is batched: one preference-weight matrix per group per
+        interval and one whole-array ``random``/``beta`` draw per video
+        (:meth:`~repro.behavior.watching.WatchingDurationModel.sample_watch_durations`)
+        instead of two scalar generator calls per member.  Compat mode keeps
+        the interleaved scalar draws so identical seeds reproduce the
+        sequential engine bit-for-bit.
+        """
         group_preference = self._group_preference(member_ids)
         probabilities = self._video_sampling_probabilities(group_preference)
-        video_ids = self.catalog.sampling_arrays()[0]
+        video_ids, _, category_indices, categories = self.catalog.sampling_arrays()
         # One cumulative distribution per group instead of re-validating the
         # probability vector per draw; each draw consumes exactly one
         # uniform, like Generator.choice(p=...) does.
         cdf = sampling_cdf(probabilities)
+        batched = self.config.channel_draw_mode == "fast"
+        if batched:
+            # Preferences only change between intervals, so the per-member
+            # weight of every category can be gathered once per group.
+            weight_matrix = np.vstack(
+                [self.users[uid].preference.as_array(categories) for uid in member_ids]
+            )
 
         now = start_s
         traffic_bits = 0.0
@@ -615,13 +710,21 @@ class StreamingSimulator:
         engagement_seconds = 0.0
         requests: List[tuple] = []
         while now < end_s:
-            video = self.catalog.get(int(video_ids[sample_index(cdf, self._rng)]))
-            member_durations: Dict[int, float] = {}
-            for uid in member_ids:
-                duration = self.watching_model.sample_watch_duration(
-                    video, self.users[uid].preference, self._rng
+            row = sample_index(cdf, self._rng)
+            video = self.catalog.get(int(video_ids[row]))
+            if batched:
+                durations = self.watching_model.sample_watch_durations(
+                    video, weight_matrix[:, category_indices[row]], self._rng
                 )
-                member_durations[uid] = duration
+                member_durations: Dict[int, float] = dict(
+                    zip(member_ids, durations.tolist())
+                )
+            else:
+                member_durations = {}
+                for uid in member_ids:
+                    member_durations[uid] = self.watching_model.sample_watch_duration(
+                        video, self.users[uid].preference, self._rng
+                    )
             transmitted = max(member_durations.values())
             transmitted = min(transmitted, end_s - now)
             for uid, duration in member_durations.items():

@@ -8,13 +8,32 @@ watch-record collections, and staleness reports.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.behavior.watching import WatchRecord
 from repro.twin.attributes import AttributeSpec, DEFAULT_ATTRIBUTES
 from repro.twin.udt import UserDigitalTwin
+
+
+@dataclass
+class _FeatureCacheEntry:
+    """Last feature matrix computed for one user, with store snapshots.
+
+    ``appended`` / ``discarded`` pin each attribute store's monotone
+    counters at computation time, so a later call can prove which cached
+    grid rows are still valid (zero-order-hold rows only change when a
+    sample with a timestamp at or before the row's grid time arrives, and
+    appends are time-ordered).
+    """
+
+    order: Tuple[str, ...]
+    times: np.ndarray
+    matrix: np.ndarray
+    appended: Dict[str, int]
+    discarded: Dict[str, int]
 
 
 class DigitalTwinManager:
@@ -24,12 +43,17 @@ class DigitalTwinManager:
         self,
         attributes: Optional[Mapping[str, AttributeSpec]] = None,
         max_samples_per_attribute: Optional[int] = None,
+        feature_cache_enabled: bool = True,
     ) -> None:
         self.attributes: Dict[str, AttributeSpec] = dict(
             attributes if attributes is not None else DEFAULT_ATTRIBUTES
         )
         self.max_samples_per_attribute = max_samples_per_attribute
         self._twins: Dict[int, UserDigitalTwin] = {}
+        #: Incremental per-user feature-matrix cache (see
+        #: :meth:`user_feature_matrix`); disable to force full recomputes.
+        self.feature_cache_enabled = feature_cache_enabled
+        self._feature_cache: Dict[int, _FeatureCacheEntry] = {}
 
     # ------------------------------------------------------------ registry
     def __len__(self) -> int:
@@ -49,6 +73,7 @@ class DigitalTwinManager:
                 attributes=self.attributes,
                 max_samples_per_attribute=self.max_samples_per_attribute,
             )
+            self._feature_cache.pop(user_id, None)
         return self._twins[user_id]
 
     def register_users(self, user_ids: Iterable[int]) -> List[UserDigitalTwin]:
@@ -61,6 +86,7 @@ class DigitalTwinManager:
 
     def remove_user(self, user_id: int) -> None:
         self._twins.pop(user_id, None)
+        self._feature_cache.pop(user_id, None)
 
     # --------------------------------------------------------- aggregation
     def feature_tensor(
@@ -80,11 +106,153 @@ class DigitalTwinManager:
         ids = list(user_ids) if user_ids is not None else self.user_ids()
         if not ids:
             raise ValueError("no users registered")
-        matrices = [
-            self.twin(uid).feature_matrix(start_s, end_s, num_steps, attribute_order)
-            for uid in ids
-        ]
+        if end_s <= start_s:
+            raise ValueError("end_s must be greater than start_s")
+        if num_steps <= 0:
+            raise ValueError("num_steps must be positive")
+        times = np.linspace(start_s, end_s, num_steps, endpoint=False)
+        matrices = [self._user_feature_matrix(uid, times, attribute_order) for uid in ids]
         return np.stack(matrices, axis=0)
+
+    def user_feature_matrix(
+        self,
+        user_id: int,
+        start_s: float,
+        end_s: float,
+        num_steps: int = 32,
+        attribute_order: Optional[Sequence[str]] = None,
+    ) -> np.ndarray:
+        """One user's feature matrix, served through the incremental cache.
+
+        Equivalent to ``twin(user_id).feature_matrix(...)`` but reuses grid
+        rows from the previous call when the new history window overlaps it
+        on an aligned grid (the sliding-window pattern of the prediction
+        pipeline): with zero-order-hold resampling and time-ordered appends,
+        a cached row can only change when a sample arrives whose timestamp
+        is at or before the row's grid time, so every overlapping row older
+        than the oldest new sample is returned as-is and only the remaining
+        rows are resampled.  Any misalignment, ring eviction or
+        ``clear()`` falls back to a full recompute, and the cache entry is
+        dropped on :meth:`remove_user` / re-:meth:`register_user`.
+
+        The returned array is shared with the cache — treat it as read-only
+        (population-level consumers copy via ``np.stack`` anyway).
+        """
+        if end_s <= start_s:
+            raise ValueError("end_s must be greater than start_s")
+        if num_steps <= 0:
+            raise ValueError("num_steps must be positive")
+        times = np.linspace(start_s, end_s, num_steps, endpoint=False)
+        return self._user_feature_matrix(user_id, times, attribute_order)
+
+    def _user_feature_matrix(
+        self,
+        user_id: int,
+        times: np.ndarray,
+        attribute_order: Optional[Sequence[str]] = None,
+    ) -> np.ndarray:
+        twin = self.twin(user_id)
+        order = (
+            tuple(attribute_order) if attribute_order is not None else tuple(twin.attributes)
+        )
+        if not self.feature_cache_enabled:
+            return twin.feature_rows(times, order)
+        stores = [twin.store(name) for name in order]
+        reused, shift, entry = self._reusable_rows(user_id, times, order, stores)
+        num_steps = times.shape[0]
+        if reused == num_steps:
+            # Full hit (same window, no sample at or before any grid time
+            # arrived): serve the cached matrix as-is.  The snapshot is left
+            # untouched — keeping the older counters is conservative, it can
+            # only shrink what a later call reuses.
+            return entry.matrix
+        if reused:
+            matrix = np.empty((num_steps, entry.matrix.shape[1]))
+            matrix[:reused] = entry.matrix[shift : shift + reused]
+            tail_times = times[reused:]
+            column = 0
+            for store in stores:
+                store.resample_into(
+                    tail_times, matrix[reused:, column : column + store.dimension]
+                )
+                column += store.dimension
+        else:
+            matrix = twin.feature_rows(times, order)
+        if entry is not None and entry.order == order:
+            # Refresh the existing entry in place (the steady-state sliding
+            # pattern) instead of reallocating it every interval.
+            entry.times = times
+            entry.matrix = matrix
+            for name, store in zip(order, stores):
+                entry.appended[name] = store.append_count
+                entry.discarded[name] = store.discard_count
+        else:
+            self._feature_cache[user_id] = _FeatureCacheEntry(
+                order=order,
+                times=times,
+                matrix=matrix,
+                appended={name: store.append_count for name, store in zip(order, stores)},
+                discarded={name: store.discard_count for name, store in zip(order, stores)},
+            )
+        return matrix
+
+    def _reusable_rows(
+        self,
+        user_id: int,
+        times: np.ndarray,
+        order: Tuple[str, ...],
+        stores: Sequence,
+    ) -> tuple:
+        """``(row_count, cache_row_shift, entry)`` reusable for this request."""
+        entry = self._feature_cache.get(user_id)
+        num_steps = times.shape[0]
+        if entry is None or entry.order != order or entry.times.shape[0] != num_steps:
+            return 0, 0, entry
+        # Grid alignment: the new window must start on a grid point of the
+        # cached window (the sliding-history pattern); `shift` is how many
+        # rows the window advanced.  Endpoint checks suffice: both grids are
+        # uniform with the same step, so matching first and last overlapping
+        # points pins the whole overlap (scalar comparisons keep this O(1)
+        # on the per-user hot path).
+        first = float(times[0])
+        if num_steps > 1:
+            step = float(times[1] - times[0])
+            if step <= 0 or abs(float(entry.times[1] - entry.times[0]) - step) > 1e-9 * step:
+                return 0, 0, entry
+            shift = int(round((first - float(entry.times[0])) / step))
+            tolerance = 1e-9 * max(step, 1.0)
+        else:
+            shift = 0
+            tolerance = 1e-9
+        if not 0 <= shift < num_steps:
+            return 0, 0, entry
+        overlap = num_steps - shift
+        last = float(times[overlap - 1])
+        if (
+            abs(float(entry.times[shift]) - first) > tolerance
+            or abs(float(entry.times[num_steps - 1]) - last) > tolerance
+        ):
+            return 0, 0, entry
+        # Store freshness: discards invalidate everything; otherwise rows
+        # strictly older than the first sample appended since the snapshot
+        # are untouched by construction (appends are time-ordered).  One
+        # exception: a store that was *empty* at snapshot time resampled to
+        # zeros, and its first real sample backfills every grid row via the
+        # zero-order-hold clamp — nothing cached for it can be reused.
+        valid_until = np.inf
+        for name, store in zip(order, stores):
+            if store.discard_count != entry.discarded.get(name, -1):
+                return 0, 0, entry
+            first_new = store.first_timestamp_appended_after(entry.appended[name])
+            if first_new is not None:
+                if entry.appended[name] == entry.discarded[name]:
+                    return 0, 0, entry
+                if first_new < valid_until:
+                    valid_until = first_new
+        if valid_until > last:
+            return overlap, shift, entry
+        reused = int(np.searchsorted(times[:overlap], valid_until, side="left"))
+        return reused, shift, entry
 
     def watch_records(
         self,

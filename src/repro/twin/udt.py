@@ -156,10 +156,29 @@ class UserDigitalTwin:
             raise ValueError("end_s must be greater than start_s")
         if num_steps <= 0:
             raise ValueError("num_steps must be positive")
-        order = list(attribute_order) if attribute_order is not None else list(self.attributes)
         times = np.linspace(start_s, end_s, num_steps, endpoint=False)
-        channels = [self.store(name).resample(times) for name in order]
-        return np.concatenate(channels, axis=1)
+        return self.feature_rows(times, attribute_order)
+
+    def feature_rows(
+        self,
+        times_s: np.ndarray,
+        attribute_order: Optional[Sequence[str]] = None,
+    ) -> np.ndarray:
+        """Resample all attributes at arbitrary ``times_s`` and stack channels.
+
+        The building block of :meth:`feature_matrix`; the manager's
+        incremental feature cache calls it directly to recompute only the
+        grid rows a sliding history window actually changed.
+        """
+        order = list(attribute_order) if attribute_order is not None else list(self.attributes)
+        times = np.asarray(times_s, dtype=np.float64)
+        stores = [self.store(name) for name in order]
+        matrix = np.empty((times.shape[0], sum(store.dimension for store in stores)))
+        column = 0
+        for store in stores:
+            store.resample_into(times, matrix[:, column : column + store.dimension])
+            column += store.dimension
+        return matrix
 
     def feature_dimension(self, attribute_order: Optional[Sequence[str]] = None) -> int:
         order = list(attribute_order) if attribute_order is not None else list(self.attributes)

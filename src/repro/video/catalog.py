@@ -134,6 +134,7 @@ class VideoCatalog:
             else ZipfPopularity(list(self._videos.keys()), exponent=zipf_exponent)
         )
         self._sampling_cache: Optional[tuple] = None
+        self._reference_ladder: Optional[RepresentationLadder] = None
 
     # ------------------------------------------------------------- sampling
     def sampling_arrays(self) -> tuple:
@@ -186,6 +187,33 @@ class VideoCatalog:
 
     def video_ids(self) -> List[int]:
         return list(self._videos.keys())
+
+    def reference_ladder(self) -> RepresentationLadder:
+        """The single representation ladder shared by every catalog video.
+
+        Callers that need "the" bitrate ladder (group link adaptation, demand
+        prediction) must use this instead of peeking at an arbitrary video's
+        ladder: on a heterogeneous catalog that lookup would silently pick
+        whichever video happens to come first.  Raises :class:`ValueError`
+        when the catalog's videos carry different ladders, because no single
+        reference ladder exists then.
+        """
+        if self._reference_ladder is not None:
+            return self._reference_ladder
+        videos = iter(self._videos.values())
+        ladder = next(videos).ladder
+        for video in videos:
+            other = video.ladder
+            if other is ladder:
+                continue
+            if list(other) != list(ladder):
+                raise ValueError(
+                    "catalog is heterogeneous: video "
+                    f"{video.video_id} uses ladder {other.names()} instead of "
+                    f"{ladder.names()}; there is no single reference ladder"
+                )
+        self._reference_ladder = ladder
+        return ladder
 
     def categories(self) -> List[str]:
         seen: List[str] = []

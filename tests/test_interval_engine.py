@@ -1,0 +1,511 @@
+"""Tests for the staged batched interval engine (PR 3).
+
+Covers the three tentpole layers plus their satellites:
+
+* the incremental per-user feature-matrix cache in
+  :class:`~repro.twin.manager.DigitalTwinManager`: exact equivalence with a
+  full recompute across overlapping sliding history windows, invalidation on
+  ``remove_user`` / ``register_user`` and on ring eviction,
+* the batched playback path (``channel_draw_mode="fast"``): per-station SNR
+  tensors and whole-array watch-duration draws, with same-seed determinism
+  and bit-for-bit compat-mode equivalence against a sequential (PR 2 style)
+  reference implementation,
+* the scoped predict-then-observe loop: ``preview_scope`` purity and the
+  full :class:`DTResourcePredictionScheme` run under
+  ``controller_mode="handover"`` with per-cell series, and
+* the satellites: ``Catalog.reference_ladder`` and the draw-mode defaulting
+  / validation rules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    DTResourcePredictionScheme,
+    SchemeConfig,
+    SimulationConfig,
+    StreamingSimulator,
+)
+from repro.behavior.watching import WatchingDurationModel
+from repro.sim.simulator import singleton_grouping
+from repro.twin.attributes import (
+    CHANNEL_CONDITION,
+    LOCATION,
+    PREFERENCE,
+    standard_attributes,
+)
+from repro.twin.manager import DigitalTwinManager
+from repro.twin.timeseries import TimeSeriesStore
+from repro.video.catalog import CatalogConfig, Video, VideoCatalog
+from repro.video.representations import DEFAULT_LADDER, Representation, RepresentationLadder
+
+
+# ---------------------------------------------------------------- twin cache
+def _filled_manager(num_users: int = 6, cache: bool = True, max_samples=None):
+    manager = DigitalTwinManager(
+        attributes=standard_attributes(num_categories=4),
+        max_samples_per_attribute=max_samples,
+        feature_cache_enabled=cache,
+    )
+    manager.register_users(range(num_users))
+    return manager
+
+
+def _feed_interval(manager: DigitalTwinManager, start_s: float, end_s: float, seed: int):
+    """Deterministically append one interval of samples to every twin."""
+    rng = np.random.default_rng(seed)
+    times = np.arange(start_s, end_s, 5.0)
+    for uid in manager.user_ids():
+        twin = manager.twin(uid)
+        twin.record_batch(CHANNEL_CONDITION, times, rng.normal(20.0, 3.0, (times.size, 1)))
+        twin.record_batch(LOCATION, times, rng.uniform(0.0, 100.0, (times.size, 2)))
+        twin.record_batch(PREFERENCE, [start_s], rng.dirichlet(np.ones(4))[None, :])
+
+
+def _twin_pair(max_samples=None):
+    """Two managers fed identical data: one cached, one recompute-only."""
+    cached = _filled_manager(cache=True, max_samples=max_samples)
+    plain = _filled_manager(cache=False, max_samples=max_samples)
+    for k in range(4):
+        _feed_interval(cached, k * 120.0, (k + 1) * 120.0, seed=k)
+        _feed_interval(plain, k * 120.0, (k + 1) * 120.0, seed=k)
+    return cached, plain
+
+
+class TestIncrementalFeatureCache:
+    def test_sliding_windows_match_full_recompute_exactly(self):
+        cached, plain = _twin_pair()
+        # Window of 4 intervals sliding by 1 interval: 32 steps over 480 s
+        # gives dt=15 s and an 8-row slide, the pipeline's exact pattern.
+        for k in range(4, 9):
+            end = (k + 1) * 120.0
+            _feed_interval(cached, end - 120.0, end, seed=k)
+            _feed_interval(plain, end - 120.0, end, seed=k)
+            np.testing.assert_array_equal(
+                cached.feature_tensor(end - 480.0, end, num_steps=32),
+                plain.feature_tensor(end - 480.0, end, num_steps=32),
+            )
+
+    def test_exact_window_rehit_is_served_from_cache(self):
+        cached, plain = _twin_pair()
+        uid = cached.user_ids()[0]
+        first = cached.user_feature_matrix(uid, 0.0, 480.0, num_steps=32)
+        second = cached.user_feature_matrix(uid, 0.0, 480.0, num_steps=32)
+        # No new samples: the very same cached array comes back.
+        assert second is first
+        np.testing.assert_array_equal(
+            first, plain.user_feature_matrix(uid, 0.0, 480.0, num_steps=32)
+        )
+
+    def test_mid_window_append_recomputes_affected_rows(self):
+        cached, plain = _twin_pair()
+        uid = cached.user_ids()[0]
+        cached.user_feature_matrix(uid, 0.0, 480.0, num_steps=32)
+        # A late sample lands inside the cached window (t=300): every grid
+        # row at or after it must be recomputed, earlier rows reused.
+        for manager in (cached, plain):
+            manager.twin(uid).record(CHANNEL_CONDITION, 480.0, [99.0])
+            manager.twin(uid).store(CHANNEL_CONDITION)._times[-1]  # no-op touch
+        np.testing.assert_array_equal(
+            cached.user_feature_matrix(uid, 120.0, 600.0, num_steps=32),
+            plain.user_feature_matrix(uid, 120.0, 600.0, num_steps=32),
+        )
+
+    def test_misaligned_and_resized_windows_fall_back_correctly(self):
+        cached, plain = _twin_pair()
+        for window in [(0.0, 480.0, 32), (7.0, 481.0, 32), (0.0, 480.0, 16), (3.3, 477.7, 31)]:
+            start, end, steps = window
+            np.testing.assert_array_equal(
+                cached.feature_tensor(start, end, num_steps=steps),
+                plain.feature_tensor(start, end, num_steps=steps),
+            )
+
+    def test_ring_eviction_invalidates_cache(self):
+        cached, plain = _twin_pair(max_samples=40)
+        for k in range(4, 8):
+            end = (k + 1) * 120.0
+            _feed_interval(cached, end - 120.0, end, seed=k)
+            _feed_interval(plain, end - 120.0, end, seed=k)
+            np.testing.assert_array_equal(
+                cached.feature_tensor(end - 480.0, end, num_steps=32),
+                plain.feature_tensor(end - 480.0, end, num_steps=32),
+            )
+
+    def test_first_sample_into_empty_store_backfills_cached_rows(self):
+        """ZOH backfill: a store empty at snapshot time invalidates fully.
+
+        An empty store resamples to zeros; its very first sample then
+        backfills every grid row *before* its timestamp via the
+        clamp-to-first-sample rule, so nothing cached for that attribute may
+        be reused — not even rows older than the new sample.
+        """
+        cached = _filled_manager(num_users=1, cache=True)
+        plain = _filled_manager(num_users=1, cache=False)
+        uid = 0
+        for manager in (cached, plain):
+            # Channel data only; the other stores stay empty (zeros).
+            times = np.arange(0.0, 480.0, 5.0)
+            manager.twin(uid).record_batch(
+                CHANNEL_CONDITION, times, np.full((times.size, 1), 20.0)
+            )
+        cached.user_feature_matrix(uid, 0.0, 480.0, num_steps=32)
+        for manager in (cached, plain):
+            # First-ever preference sample lands after the whole window.
+            manager.twin(uid).record(PREFERENCE, 500.0, [0.7, 0.1, 0.1, 0.1])
+        np.testing.assert_array_equal(
+            cached.user_feature_matrix(uid, 0.0, 480.0, num_steps=32),
+            plain.user_feature_matrix(uid, 0.0, 480.0, num_steps=32),
+        )
+        # Same for the sliding-overlap path with a mid-window first sample.
+        for manager in (cached, plain):
+            manager.twin(uid).record(LOCATION, 530.0, [5.0, 6.0])
+        np.testing.assert_array_equal(
+            cached.user_feature_matrix(uid, 120.0, 600.0, num_steps=32),
+            plain.user_feature_matrix(uid, 120.0, 600.0, num_steps=32),
+        )
+
+    def test_remove_and_reregister_invalidates(self):
+        cached, _ = _twin_pair()
+        uid = cached.user_ids()[0]
+        stale = cached.user_feature_matrix(uid, 0.0, 480.0, num_steps=32).copy()
+        cached.remove_user(uid)
+        cached.register_user(uid)
+        fresh = cached.user_feature_matrix(uid, 0.0, 480.0, num_steps=32)
+        # The new twin is empty, so the matrix must be all zeros — any reuse
+        # of the removed user's rows would leak the old data.
+        np.testing.assert_array_equal(fresh, np.zeros_like(stale))
+        assert not np.array_equal(stale, fresh)
+
+    def test_store_counters(self):
+        store = TimeSeriesStore(dimension=1, max_samples=3)
+        assert store.append_count == 0 and store.discard_count == 0
+        store.append_batch([0.0, 1.0], [[1.0], [2.0]])
+        snapshot = store.append_count
+        assert store.first_timestamp_appended_after(snapshot) is None
+        store.append(2.0, [3.0])
+        store.append(3.0, [4.0])  # evicts the t=0 sample
+        assert store.append_count == 4 and store.discard_count == 1
+        assert store.first_timestamp_appended_after(snapshot) == 2.0
+        store.clear()
+        assert store.discard_count == 4
+        with pytest.raises(ValueError):
+            # The samples newer than the snapshot were discarded by clear().
+            store.append(9.0, [1.0])
+            store.first_timestamp_appended_after(snapshot)
+
+
+# ------------------------------------------------------------ batched engine
+def _pr2_sequential_play_group_stream(sim: StreamingSimulator):
+    """The PR 2 sequential playback loop (scalar per-member duration draws)."""
+    from repro.behavior.session import ViewingEvent
+    from repro.behavior.watching import WatchRecord
+    from repro.net.multicast import resource_blocks_for_traffic
+    from repro.sim.simulator import GroupIntervalUsage
+    from repro.video.popularity import sample_index, sampling_cdf
+
+    def play(group_id, member_ids, representation, efficiency, start_s, end_s,
+             events_by_user, transcode_requests):
+        group_preference = sim._group_preference(member_ids)
+        probabilities = sim._video_sampling_probabilities(group_preference)
+        video_ids = sim.catalog.sampling_arrays()[0]
+        cdf = sampling_cdf(probabilities)
+        now = start_s
+        traffic_bits = 0.0
+        videos_played = 0
+        engagement_seconds = 0.0
+        requests = []
+        while now < end_s:
+            video = sim.catalog.get(int(video_ids[sample_index(cdf, sim._rng)]))
+            member_durations = {}
+            for uid in member_ids:
+                member_durations[uid] = sim.watching_model.sample_watch_duration(
+                    video, sim.users[uid].preference, sim._rng
+                )
+            transmitted = min(max(member_durations.values()), end_s - now)
+            for uid, duration in member_durations.items():
+                swiped = duration < video.duration_s - 1e-9
+                duration = min(duration, end_s - now)
+                record = WatchRecord(
+                    user_id=uid,
+                    video_id=video.video_id,
+                    category=video.category,
+                    watch_duration_s=duration,
+                    video_duration_s=video.duration_s,
+                    swiped=swiped,
+                    timestamp_s=now,
+                )
+                events_by_user[uid].append(ViewingEvent(record=record, start_time_s=now))
+                engagement_seconds += duration
+            traffic_bits += video.bits_watched(representation, transmitted)
+            requests.append((video, representation, transmitted))
+            videos_played += 1
+            now += transmitted + sim.config.swipe_gap_s
+        transcode_requests[group_id] = requests
+        blocks = resource_blocks_for_traffic(
+            traffic_bits,
+            efficiency,
+            rb_bandwidth_hz=sim.config.rb_bandwidth_hz,
+            interval_s=sim.config.interval_s,
+        )
+        return GroupIntervalUsage(
+            group_id=group_id,
+            member_ids=member_ids,
+            traffic_bits=traffic_bits,
+            efficiency_bps_hz=efficiency,
+            representation_name=representation.name,
+            resource_blocks=blocks,
+            computing_cycles=0.0,
+            videos_played=videos_played,
+            engagement_seconds=engagement_seconds,
+        )
+
+    return play
+
+
+def _interval_signature(result):
+    return (
+        result.total_traffic_bits,
+        result.total_resource_blocks,
+        result.total_computing_cycles,
+        tuple(sorted(result.mean_snr_by_user.items())),
+    )
+
+
+class TestBatchedPlaybackEngine:
+    def _config(self, **overrides):
+        options = dict(
+            num_users=10, num_videos=30, num_intervals=2, interval_s=90.0, seed=31
+        )
+        options.update(overrides)
+        return SimulationConfig(**options)
+
+    def _grouping(self, sim):
+        ids = sim.user_ids()
+        return {0: ids[: len(ids) // 2], 1: ids[len(ids) // 2 :]}
+
+    def test_compat_mode_matches_pr2_sequential_engine_bit_for_bit(self):
+        """Same-seed golden equivalence with the PR 2 engine in compat mode."""
+        engine = StreamingSimulator(self._config(channel_draw_mode="compat"))
+        reference = StreamingSimulator(self._config(channel_draw_mode="compat"))
+        reference._play_group_stream = _pr2_sequential_play_group_stream(reference)
+        for _ in range(2):
+            observed = engine.run_interval(self._grouping(engine))
+            expected = reference.run_interval(self._grouping(reference))
+            assert _interval_signature(observed) == _interval_signature(expected)
+
+    def test_fast_mode_is_deterministic_across_runs(self):
+        def run():
+            sim = StreamingSimulator(self._config(channel_draw_mode="fast"))
+            return [
+                _interval_signature(sim.run_interval(self._grouping(sim)))
+                for _ in range(2)
+            ]
+
+        assert run() == run()
+
+    def test_fast_mode_produces_sound_intervals(self):
+        sim = StreamingSimulator(self._config(channel_draw_mode="fast"))
+        result = sim.run_interval(self._grouping(sim))
+        assert set(result.mean_snr_by_user) == set(sim.user_ids())
+        assert result.total_traffic_bits > 0.0
+        for events in result.events_by_user.values():
+            for event in events:
+                record = event.record
+                assert 0.0 <= record.watch_duration_s <= record.video_duration_s + 1e-9
+        # The batched engine must respect the worst-member rule per group.
+        for usage in result.usage_by_group.values():
+            member_mean = min(result.mean_snr_by_user[uid] for uid in usage.member_ids)
+            assert np.isfinite(member_mean)
+
+    def test_fast_mode_handles_singleton_groups(self):
+        sim = StreamingSimulator(self._config(channel_draw_mode="fast", num_users=4))
+        result = sim.run_interval(singleton_grouping(sim.user_ids()))
+        assert len(result.usage_by_group) == 4
+
+    def test_batched_duration_sampler_statistics(self):
+        model = WatchingDurationModel()
+        video = Video(
+            video_id=0,
+            category="News",
+            duration_s=30.0,
+            segment_duration_s=1.0,
+            ladder=DEFAULT_LADDER,
+            segment_sizes={r.name: np.ones(30) for r in DEFAULT_LADDER},
+        )
+        weights = np.full(20000, 0.4)
+        batched = model.sample_watch_durations(video, weights, np.random.default_rng(3))
+        assert batched.shape == weights.shape
+        assert np.all((batched >= 0.0) & (batched <= video.duration_s))
+        completed = batched == video.duration_s
+        # Completion probability and conditional mean match the scalar model.
+        assert completed.mean() == pytest.approx(
+            model.completion_probability(0.4), abs=0.01
+        )
+        expected_fraction = model.mean_watched_fraction(0.4)
+        assert (batched[~completed] / video.duration_s).mean() == pytest.approx(
+            expected_fraction, abs=0.02
+        )
+
+
+# ----------------------------------------------------- scoped prediction loop
+def _handover_scheme(num_users=12, num_cells=4, seed=3, eval_intervals=2):
+    sim = StreamingSimulator(
+        SimulationConfig(
+            num_users=num_users,
+            num_videos=25,
+            num_intervals=2 + eval_intervals,
+            interval_s=120.0,
+            num_base_stations=num_cells,
+            area_width_m=1200.0,
+            area_height_m=1000.0,
+            controller_mode="handover",
+            seed=seed,
+        )
+    )
+    scheme = DTResourcePredictionScheme(
+        sim,
+        SchemeConfig(
+            warmup_intervals=2,
+            cnn_epochs=2,
+            ddqn_episodes=3,
+            mc_rollouts=3,
+            history_intervals=2,
+            min_groups=2,
+            max_groups=4,
+        ),
+        k_strategy="fixed",
+    )
+    scheme.fixed_k = 3
+    return scheme
+
+
+class TestScopedPredictionLoop:
+    def test_preview_scope_is_pure_and_consistent(self):
+        sim = StreamingSimulator(
+            SimulationConfig(
+                num_users=10,
+                num_videos=20,
+                num_intervals=1,
+                num_base_stations=4,
+                area_width_m=1200.0,
+                area_height_m=1000.0,
+                controller_mode="handover",
+                seed=11,
+            )
+        )
+        grouping = {0: sim.user_ids()[:5], 1: sim.user_ids()[5:]}
+        controller = sim.controller
+        footprints_before = dict(controller._group_cells)
+        preview_scoped, preview_cells = sim.preview_scoped_grouping(grouping)
+        # Preview mutates nothing: no events, no footprint state.
+        assert controller.group_event_log == []
+        assert controller._group_cells == footprints_before
+        # And it matches what scope_grouping then actually produces.
+        scoped, cell_of_group, _ = controller.scope_grouping(grouping, time_s=0.0)
+        assert preview_scoped == scoped
+        assert preview_cells == cell_of_group
+
+    def test_boundary_mode_preview_is_identity(self):
+        sim = StreamingSimulator(
+            SimulationConfig(num_users=4, num_videos=10, num_intervals=1, seed=0)
+        )
+        grouping = {7: sim.user_ids()[:2], 9: sim.user_ids()[2:]}
+        scoped, cell_of_group = sim.preview_scoped_grouping(grouping)
+        assert scoped == {7: grouping[7], 9: grouping[9]}
+        assert cell_of_group == {}
+
+    def test_scheme_runs_under_handover_with_per_cell_series(self):
+        scheme = _handover_scheme()
+        result = scheme.run(num_intervals=2)
+        assert result.num_intervals == 2
+        cells = result.cells()
+        assert cells, "expected at least one cell to carry demand"
+        predicted = result.predicted_radio_series_by_cell()
+        actual = result.actual_radio_series_by_cell()
+        accuracy = result.radio_accuracy_series_by_cell()
+        for cell_id in cells:
+            assert predicted[cell_id].shape == (2,)
+            assert actual[cell_id].shape == (2,)
+            assert np.all((accuracy[cell_id] >= 0.0) & (accuracy[cell_id] <= 1.0))
+        for evaluation in result.intervals:
+            # Scoped prediction ids line up with the groups actually played.
+            assert set(evaluation.predictions) == set(evaluation.actual.usage_by_group)
+            assert sum(evaluation.actual_radio_by_cell.values()) == pytest.approx(
+                evaluation.actual_radio_blocks
+            )
+            for cell_id, value in evaluation.radio_accuracy_by_cell.items():
+                assert 0.0 <= value <= 1.0
+        payload = result.to_dict()
+        assert "mean_radio_accuracy_by_cell" in payload["summary"]
+        assert payload["intervals"][0]["actual_radio_by_cell"]
+
+    def test_boundary_scheme_keeps_logical_ids_and_empty_cell_series(self):
+        sim = StreamingSimulator(
+            SimulationConfig(
+                num_users=8, num_videos=20, num_intervals=4, interval_s=120.0, seed=5
+            )
+        )
+        scheme = DTResourcePredictionScheme(
+            sim,
+            SchemeConfig(
+                warmup_intervals=2, cnn_epochs=2, ddqn_episodes=3, mc_rollouts=3
+            ),
+            k_strategy="fixed",
+        )
+        scheme.fixed_k = 2
+        result = scheme.run(num_intervals=2)
+        assert result.cells() == []
+        for evaluation in result.intervals:
+            assert evaluation.predicted_radio_by_cell == {}
+            assert set(evaluation.predictions) == set(
+                evaluation.grouping.groups()
+            ), "boundary mode must predict against the logical groups"
+
+
+# ------------------------------------------------------------------ satellites
+class TestReferenceLadder:
+    def test_homogeneous_catalog_returns_shared_ladder(self):
+        catalog = VideoCatalog.generate(CatalogConfig(num_videos=12, seed=1))
+        ladder = catalog.reference_ladder()
+        assert list(ladder) == list(DEFAULT_LADDER)
+        assert catalog.reference_ladder() is ladder  # memoized
+
+    def test_heterogeneous_catalog_raises(self):
+        def video(video_id, ladder):
+            return Video(
+                video_id=video_id,
+                category="News",
+                duration_s=10.0,
+                segment_duration_s=1.0,
+                ladder=ladder,
+                segment_sizes={r.name: np.ones(10) for r in ladder},
+            )
+
+        other = RepresentationLadder(
+            [Representation(bitrate_kbps=100.0, name="tiny", width=160, height=90)]
+        )
+        catalog = VideoCatalog([video(0, DEFAULT_LADDER), video(1, other)])
+        with pytest.raises(ValueError, match="heterogeneous"):
+            catalog.reference_ladder()
+
+
+class TestDrawModeDefaults:
+    def test_boundary_defaults_to_compat(self):
+        assert SimulationConfig().channel_draw_mode == "compat"
+
+    def test_handover_defaults_to_fast(self):
+        assert (
+            SimulationConfig(controller_mode="handover").channel_draw_mode == "fast"
+        )
+
+    def test_explicit_mode_wins_over_default(self):
+        config = SimulationConfig(
+            controller_mode="handover", channel_draw_mode="compat"
+        )
+        assert config.channel_draw_mode == "compat"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="channel_draw_mode"):
+            SimulationConfig(channel_draw_mode="scalar")
