@@ -22,6 +22,15 @@ multicast grouping (users/10 groups, the pipeline's shape):
 * the incremental twin feature cache against full recomputes over the
   prediction pipeline's sliding feature-tensor windows.
 
+PR 4 adds the **worker sweep** over the grouped engine
+(``channel_draw_mode="grouped"`` + ``playback_workers``): per-interval wall
+clock at 500/1000/2000 users for 1/2/4 playback workers, with a gating check
+that every worker count produces identical interval totals (the per-group
+RNG streams make shard boundaries draw-exact).  Each record carries the
+machine's ``cpu_count``; the >=1.5x speedup assertion at 1000 users / 4
+workers only gates when the machine actually has >= 4 cores — on fewer
+cores the sweep still runs and records the honest (likely flat) numbers.
+
 Run standalone (``PYTHONPATH=src python benchmarks/bench_scale_population.py``)
 or under pytest-benchmark like the other benches.  ``--quick`` runs a
 CI-sized smoke variant (small populations, no legacy comparison) and writes
@@ -31,6 +40,7 @@ committed full record untouched.
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 from typing import Dict, List, Sequence
@@ -47,6 +57,14 @@ POPULATIONS = (25, 50, 100, 200)
 INTERVALS = 3
 COMPARISON_USERS = 100
 BATCHED_POPULATIONS = (100, 500)
+WORKER_POPULATIONS = (500, 1000, 2000)
+WORKER_COUNTS = (1, 2, 4)
+WORKER_SWEEP_INTERVALS = 2
+#: The >=1.5x target at 1000 users / 4 workers only gates on machines that
+#: actually have the cores; the sweep itself always runs and records.
+MIN_WORKER_SPEEDUP = 1.5
+WORKER_SPEEDUP_USERS = 1000
+WORKER_SPEEDUP_WORKERS = 4
 MIN_SPEEDUP = 5.0
 MIN_BATCHED_SPEEDUP = 1.1
 SEED = 7
@@ -362,6 +380,86 @@ def batched_engine_experiment(records: List[dict], populations=BATCHED_POPULATIO
     return speedups
 
 
+def _worker_sweep_simulator(users: int, workers: int) -> StreamingSimulator:
+    return StreamingSimulator(
+        SimulationConfig(
+            num_users=users,
+            num_intervals=WORKER_SWEEP_INTERVALS + 1,
+            seed=SEED,
+            channel_draw_mode="grouped",
+            playback_workers=workers,
+        )
+    )
+
+
+def playback_workers_experiment(
+    records: List[dict],
+    populations: Sequence[int] = WORKER_POPULATIONS,
+    workers: Sequence[int] = WORKER_COUNTS,
+    intervals: int = WORKER_SWEEP_INTERVALS,
+) -> dict:
+    """Process-sharded grouped playback versus the serial grouped engine.
+
+    For each population the same multicast grouping is played under every
+    worker count (same seed, grouped draw mode): one warm interval first —
+    pool spin-up and lazy mobility-leg generation happen there — then
+    ``intervals`` timed intervals.  Returns per-population ``{"speedups":
+    {workers: x}, "totals_identical": bool}``; identical totals across
+    worker counts are the draw-exact shard-boundary guarantee and are
+    asserted by the caller.
+    """
+    cpu_count = os.cpu_count() or 1
+    sweep: dict = {"cpu_count": cpu_count, "populations": {}}
+    for users in populations:
+        timings: Dict[int, float] = {}
+        totals_by_workers: Dict[int, list] = {}
+        for worker_count in workers:
+            sim = _worker_sweep_simulator(users, worker_count)
+            try:
+                grouping = _multicast_grouping(sim)
+                sim.run_interval(grouping)  # warm: pool start + mobility legs
+                totals = []
+                started = time.perf_counter()
+                for _ in range(intervals):
+                    result = sim.run_interval(grouping)
+                    totals.append(
+                        (
+                            result.total_traffic_bits,
+                            result.total_resource_blocks,
+                            result.total_computing_cycles,
+                        )
+                    )
+                timings[worker_count] = time.perf_counter() - started
+                totals_by_workers[worker_count] = totals
+            finally:
+                sim.close()
+        serial = timings[workers[0]]
+        speedups = {w: serial / timings[w] for w in workers}
+        totals_identical = all(
+            totals_by_workers[w] == totals_by_workers[workers[0]] for w in workers
+        )
+        sweep["populations"][users] = {
+            "speedups": speedups,
+            "totals_identical": totals_identical,
+        }
+        for worker_count in workers:
+            records.append(
+                benchmark_record(
+                    "scale_population_playback_workers",
+                    elapsed_s=timings[worker_count],
+                    users=users,
+                    intervals=intervals,
+                    engine="grouped",
+                    playback_workers=worker_count,
+                    cpu_count=cpu_count,
+                    serial_elapsed_s=serial,
+                    speedup=speedups[worker_count],
+                    totals_identical=totals_identical,
+                )
+            )
+    return sweep
+
+
 def feature_cache_experiment(records: List[dict], users: int = COMPARISON_USERS,
                              intervals: int = 8, history: int = 4) -> Dict[str, float]:
     """Feature-tensor access patterns with vs without the incremental cache.
@@ -458,6 +556,7 @@ def scale_experiment() -> dict:
     )
     batched_speedups = batched_engine_experiment(records)
     cache_speedups = feature_cache_experiment(records)
+    worker_sweep = playback_workers_experiment(records)
 
     path = write_benchmark_json("scale_population", records)
     return {
@@ -466,6 +565,7 @@ def scale_experiment() -> dict:
         "totals_identical": vec_totals == legacy_totals,
         "batched_speedups": batched_speedups,
         "feature_cache_speedups": cache_speedups,
+        "worker_sweep": worker_sweep,
         "json_path": str(path),
     }
 
@@ -498,11 +598,21 @@ def quick_experiment() -> dict:
     # quick record exercises the cache's partial-reuse path, not just
     # full recomputes.
     cache_speedups = feature_cache_experiment(records, users=50, intervals=3, history=2)
+    # One small 2-worker datapoint so CI exercises the sharded engine and
+    # its identical-totals guarantee on every run.
+    worker_sweep = playback_workers_experiment(
+        records, populations=(50,), workers=(1, 2), intervals=1
+    )
     path = write_benchmark_json("scale_population_quick", records)
+    for users, entry in worker_sweep["populations"].items():
+        assert entry["totals_identical"], (
+            f"sharded playback diverged from serial at {users} users (quick)"
+        )
     return {
         "summary": summary,
         "batched_speedups": batched_speedups,
         "feature_cache_speedups": cache_speedups,
+        "worker_sweep": worker_sweep,
         "json_path": str(path),
     }
 
@@ -523,6 +633,16 @@ def report(result: dict) -> None:
         print(f"batched engine (fast vs compat, multicast) at {users} users: {value:.2f}x")
     for pattern, value in sorted(result["feature_cache_speedups"].items()):
         print(f"incremental feature cache ({pattern} windows): {value:.2f}x")
+    if "worker_sweep" in result:
+        sweep = result["worker_sweep"]
+        print(f"sharded grouped playback ({sweep['cpu_count']} cpu core(s)):")
+        for users, entry in sorted(sweep["populations"].items()):
+            line = ", ".join(
+                f"{workers}w {value:.2f}x"
+                for workers, value in sorted(entry["speedups"].items())
+            )
+            identical = "identical" if entry["totals_identical"] else "DIVERGED"
+            print(f"  {users} users: {line} (totals {identical})")
     print(f"JSON record: {result['json_path']}")
 
 
@@ -541,6 +661,22 @@ def _assertions(result: dict) -> None:
         "expected the feature cache to serve unchanged windows >= 2x faster, got "
         f"{result['feature_cache_speedups']['requery']:.2f}x"
     )
+    sweep = result["worker_sweep"]
+    for users, entry in sweep["populations"].items():
+        assert entry["totals_identical"], (
+            f"sharded playback diverged from serial playback at {users} users"
+        )
+    # The speedup target is physical: it only gates when the machine has at
+    # least as many cores as the target worker count.
+    if sweep["cpu_count"] >= WORKER_SPEEDUP_WORKERS:
+        observed = sweep["populations"][WORKER_SPEEDUP_USERS]["speedups"][
+            WORKER_SPEEDUP_WORKERS
+        ]
+        assert observed >= MIN_WORKER_SPEEDUP, (
+            f"expected >= {MIN_WORKER_SPEEDUP}x sharded speedup at "
+            f"{WORKER_SPEEDUP_USERS} users with {WORKER_SPEEDUP_WORKERS} "
+            f"workers, got {observed:.2f}x"
+        )
 
 
 def bench_scale_population(benchmark):

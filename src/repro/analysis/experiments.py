@@ -97,13 +97,17 @@ def run_fig3_experiment(
     num_eval_intervals: int = 6,
     interval_s: float = 150.0,
     scheme_config: Optional[SchemeConfig] = None,
-    channel_draw_mode: str = "compat",
+    channel_draw_mode: Optional[str] = None,
+    playback_workers: int = 1,
 ) -> Fig3Result:
     """Run the paper's Fig. 3 scenario and return both panels' data.
 
     ``channel_draw_mode="fast"`` trades seed compatibility with the scalar
-    -era generator streams for ~1.5x faster channel sampling (see
-    :class:`repro.sim.config.SimulationConfig`).
+    -era generator streams for ~1.5x faster channel sampling; ``"grouped"``
+    switches to the per-group RNG streams whose results are identical for
+    any worker count.  The default ``None`` lets the config resolve the
+    mode — ``"grouped"`` when ``playback_workers > 1``, else the historical
+    ``"compat"`` (see :class:`repro.sim.config.SimulationConfig`).
     """
     sim_config = _default_sim_config(
         seed,
@@ -111,12 +115,13 @@ def run_fig3_experiment(
         num_users=num_users,
         interval_s=interval_s,
         channel_draw_mode=channel_draw_mode,
+        playback_workers=playback_workers,
     )
-    scheme = DTResourcePredictionScheme(
+    with DTResourcePredictionScheme(
         StreamingSimulator(sim_config),
         scheme_config if scheme_config is not None else _default_scheme_config(),
-    )
-    result = scheme.run(num_intervals=num_eval_intervals)
+    ) as scheme:
+        result = scheme.run(num_intervals=num_eval_intervals)
 
     last = result.intervals[-1]
     news_groups = [

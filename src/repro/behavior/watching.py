@@ -103,7 +103,15 @@ class WatchingDurationModel:
         preference: PreferenceVector,
         rng: Optional[np.random.Generator] = None,
     ) -> float:
-        """Sample how many seconds of ``video`` the user watches."""
+        """Sample how many seconds of ``video`` the user watches.
+
+        Pass ``rng`` explicitly: the ``None`` fallback builds a *fresh*
+        seed-0 generator per call (kept only for backwards compatibility),
+        so repeated calls without a generator all return the same draw.
+        Every simulator path supplies its own stream — the shared generator
+        in compat/fast draw modes, the per-(interval, group) watch stream
+        in grouped mode.
+        """
         rng = rng if rng is not None else np.random.default_rng(0)
         weight = preference.weight(video.category)
         # Inlined completion_probability / mean_watched_fraction (hot path).

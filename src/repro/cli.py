@@ -41,12 +41,25 @@ def _add_fig3_parser(subparsers) -> None:
     )
     parser.add_argument(
         "--channel-draw-mode",
-        choices=("compat", "fast"),
-        default="compat",
+        choices=("compat", "fast", "grouped"),
+        default=None,
         help=(
             "how channel randomness is drawn: 'compat' reproduces the scalar-era "
             "generator streams for a given seed, 'fast' is ~1.5x quicker but walks "
-            "the generator differently (same statistics, different per-seed totals)"
+            "the generator differently (same statistics, different per-seed totals), "
+            "'grouped' derives per-(interval, group) streams so results are "
+            "order-independent and identical for any --playback-workers count. "
+            "Default: 'grouped' when --playback-workers > 1, else 'compat'"
+        ),
+    )
+    parser.add_argument(
+        "--playback-workers",
+        type=int,
+        default=1,
+        help=(
+            "processes interval playback is sharded over (requires "
+            "--channel-draw-mode grouped when > 1; results are identical to a "
+            "single-worker run for the same seed)"
         ),
     )
 
@@ -93,6 +106,7 @@ def _run_fig3(args: argparse.Namespace) -> int:
         num_eval_intervals=args.intervals,
         interval_s=args.interval_seconds,
         channel_draw_mode=args.channel_draw_mode,
+        playback_workers=args.playback_workers,
     )
     profile = result.news_group_profile
     print(f"Fig. 3(a) — cumulative swiping probability (group {profile.group_id}, "

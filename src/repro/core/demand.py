@@ -29,6 +29,7 @@ from repro.core.swiping import GroupSwipingProfile, abstract_group_swiping
 from repro.edge.transcoding import TranscodingCostModel
 from repro.net.mcs import spectral_efficiency
 from repro.net.multicast import resource_blocks_for_traffic
+from repro.sim.rng import derive_stream, window_token
 from repro.twin.attributes import CHANNEL_CONDITION
 from repro.twin.manager import DigitalTwinManager
 from repro.video.catalog import VideoCatalog
@@ -97,14 +98,16 @@ class GroupDemandPredictor:
         Drawing every group's rollouts from one shared generator would make a
         group's prediction depend on how many groups were predicted before
         it; a per-call generator keyed on the group and window makes
-        predictions order-independent and reproducible.
+        predictions order-independent and reproducible.  The derivation
+        goes through :mod:`repro.sim.rng` — the same canonical
+        ``SeedSequence`` registry the grouped simulation engine keys its
+        playback streams from — with the historical ``(seed, group,
+        window)`` entropy preserved word-for-word, so existing rollout
+        streams are unchanged.
         """
-        mask = 0xFFFFFFFFFFFFFFFF
-        window_key = (
-            mask if window_start_s is None else int(round(float(window_start_s) * 1000.0))
+        return derive_stream(
+            (self.config.seed, group_id, window_token(window_start_s))
         )
-        entropy = [int(self.config.seed) & mask, int(group_id) & mask, window_key & mask]
-        return np.random.default_rng(np.random.SeedSequence(entropy))
 
     # ---------------------------------------------------------- link state
     def predict_link_state(

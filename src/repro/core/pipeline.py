@@ -258,9 +258,32 @@ class DTResourcePredictionScheme:
         self.fixed_k: Optional[int] = None
         self.warmed_up = False
         self._warmup_snapshots: List[np.ndarray] = []
+        #: Whether this scheme owns the simulator's worker-pool lifetime
+        #: (set when the scheme is used as a context manager).
+        self._owns_simulator = False
         #: Scoped-group → cell map of the most recent prediction (written by
         #: predict_next_interval, consumed by step; empty in boundary mode).
         self._last_cell_of_group: Dict[int, int] = {}
+
+    # ------------------------------------------------------------- lifecycle
+    def __enter__(self) -> "DTResourcePredictionScheme":
+        """Context-manager entry: the scheme adopts the simulator's lifetime.
+
+        Under ``channel_draw_mode="grouped"`` with ``playback_workers > 1``
+        the ground-truth simulator lazily starts a process pool; running the
+        scheme inside a ``with`` block guarantees the pool is shut down when
+        the evaluation finishes::
+
+            with DTResourcePredictionScheme(simulator, config) as scheme:
+                result = scheme.run(num_intervals=5)
+        """
+        self._owns_simulator = True
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if self._owns_simulator:
+            self.simulator.close()
+            self._owns_simulator = False
 
     # --------------------------------------------------------------- warm-up
     def _round_robin_grouping(self, num_groups: int) -> Dict[int, List[int]]:

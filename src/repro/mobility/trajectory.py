@@ -190,12 +190,19 @@ class GraphTrajectoryMobility(LegMobility):
     ``[min_speed_mps, max_speed_mps]``, pauses, and repeats.  Legs are
     pre-generated lazily up to the queried time, so positions are
     deterministic for a given seed regardless of query order.
+
+    ``seed`` is anything :func:`numpy.random.default_rng` accepts -- in
+    particular a :class:`numpy.random.SeedSequence`, which is how the
+    simulator derives collision-free per-user trajectory streams
+    (``SeedSequence((seed, user_id))`` via :mod:`repro.sim.rng`) instead of
+    ad-hoc integer arithmetic like ``seed * 1000 + user_id`` (which makes
+    user 1000 under seed ``s`` replay user 0's walk under seed ``s + 1``).
     """
 
     def __init__(
         self,
         campus: CampusMap,
-        seed: int = 0,
+        seed: "int | np.random.SeedSequence | np.random.Generator" = 0,
         min_speed_mps: float = 0.8,
         max_speed_mps: float = 2.0,
         pause_time_s: float = 30.0,

@@ -101,6 +101,29 @@ class BaseStation:
             interleaved=interleaved,
         )
 
+    def sample_snr_traces(
+        self,
+        points_block: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """One SNR trace per user from a ``(users, times, 2)`` position block.
+
+        Flattens the block row-major, draws the shadowing and fading for
+        *all* ``users x times`` samples as two whole-array calls against the
+        explicitly supplied ``rng`` and reshapes back to ``(users, times)``.
+        This is the batched-engine primitive: both the ``"fast"`` per-station
+        tensors and the ``"grouped"`` per-group streams are one call each,
+        and because ``rng`` is explicit the caller fully owns which stream
+        (shared or per-group) the draws consume.
+        """
+        block = np.asarray(points_block, dtype=np.float64)
+        if block.ndim != 3 or block.shape[-1] != 2:
+            raise ValueError("points_block must have shape (users, times, 2)")
+        num_users, num_times = block.shape[:2]
+        flat = block.reshape(num_users * num_times, 2)
+        traces = self.sample_snr_db_batch(flat, rng=rng, interleaved=False)
+        return traces.reshape(num_users, num_times)
+
 
 def associate_users(
     user_positions: Sequence[Sequence[float]],

@@ -145,6 +145,11 @@ class ChannelModel:
         sampling produce identical values from the same generator state.
         ``interleaved=False`` draws each distribution as one array call,
         which is faster but walks the generator in a different order.
+
+        Callers that need order-independent results (the grouped interval
+        engine, process-sharded playback) must pass ``rng`` explicitly —
+        the implicit fallback to this channel's own generator reintroduces
+        shared mutable draw state across callers.
         """
         rng = rng if rng is not None else self._rng
         distances = np.asarray(distances_m, dtype=np.float64).reshape(-1)

@@ -157,10 +157,13 @@ class RanController:
         self.group_event_log: List[GroupScopeEvent] = []
         self.load_event_log: List[CellLoadEvent] = []
         self._group_cells: Dict[int, FrozenSet[int]] = {}
-        #: Per-user A3 streak carried across intervals: (candidate cell
-        #: index or -1, absolute streak start time).  Keeps time-to-trigger
-        #: windows continuous across interval boundaries.
-        self._streaks: Dict[int, Tuple[int, float]] = {}
+        #: Per-user A3 streaks carried across intervals, keyed *by user id*
+        #: (not by position): the population churns via attach/detach, and a
+        #: positional carry would silently apply one user's candidate/TTT
+        #: row to another after a mid-run removal.  Keyed carry keeps
+        #: time-to-trigger windows continuous across interval boundaries
+        #: for exactly the users that persist.
+        self._streaks: StreakState = StreakState.keyed([])
 
     # ------------------------------------------------------------ association
     def attach_user(self, user_id: int, cell_id: int) -> None:
@@ -172,13 +175,15 @@ class RanController:
             self.cell_states[previous].served_users -= 1
         self.serving_cell[user_id] = cell_id
         self.cell_states[cell_id].served_users += 1
-        self._streaks[user_id] = (-1, 0.0)
+        # Dropping the row resets the streak: the next evaluation's
+        # id-keyed remap backfills a fresh (-1, 0.0) entry for this user.
+        self._streaks = self._streaks.without(user_id)
 
     def detach_user(self, user_id: int) -> None:
         if user_id not in self.serving_cell:
             raise KeyError(f"unknown user {user_id}")
         self.cell_states[self.serving_cell.pop(user_id)].served_users -= 1
-        self._streaks.pop(user_id, None)
+        self._streaks = self._streaks.without(user_id)
 
     def users_of_cell(self, cell_id: int) -> List[int]:
         return sorted(uid for uid, cid in self.serving_cell.items() if cid == cell_id)
@@ -205,18 +210,12 @@ class RanController:
             serving_index = np.array(
                 [self._cell_index[self.serving_cell[uid]] for uid in user_ids]
             )
-            streaks = [self._streaks.get(uid, (-1, 0.0)) for uid in user_ids]
-            state = StreakState(
-                candidate=np.array([s[0] for s in streaks], dtype=int),
-                entered_at_s=np.array([s[1] for s in streaks]),
+            # The carried state is remapped by user id inside evaluate(), so
+            # churn between intervals (attach/detach) never shifts one
+            # user's streak onto another's measurement column.
+            decisions, _, self._streaks = self.policy.evaluate(
+                times_s, snr, serving_index, state=self._streaks, user_ids=user_ids
             )
-            decisions, _, state = self.policy.evaluate(
-                times_s, snr, serving_index, state=state
-            )
-            for uid, cand, entered in zip(
-                user_ids, state.candidate, state.entered_at_s
-            ):
-                self._streaks[uid] = (int(cand), float(entered))
             for decision in decisions:
                 event = HandoverEvent(
                     time_s=decision.time_s,

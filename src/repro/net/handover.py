@@ -17,9 +17,11 @@ determinism guarantees (same seed, same handover events) rest on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.timegrid import time_grid
 
 #: Tolerance used when comparing float sample times against the
 #: time-to-trigger window (arange-produced times are exact multiples of the
@@ -58,10 +60,22 @@ class StreakState:
     time the streak began.  Persisting this between intervals keeps the
     time-to-trigger window *continuous*: a margin that establishes late in
     one interval and completes early in the next still triggers.
+
+    **Keying.**  When ``user_ids`` is set the state is keyed by user id:
+    row ``u`` belongs to ``user_ids[u]``, and :meth:`aligned_to` remaps the
+    carried rows onto any later user-id batch — users that joined get a
+    fresh streak, users that left are dropped.  A state *without*
+    ``user_ids`` is purely positional: carrying it across batches is only
+    sound while the user array never changes, because after a mid-run
+    removal the persisted candidate/TTT rows silently apply to the wrong
+    users.  Id-keyed carry is therefore what every churn-capable caller
+    (the RAN controller) uses.
     """
 
     candidate: np.ndarray
     entered_at_s: np.ndarray
+    #: User id of each row; ``None`` marks a legacy positional state.
+    user_ids: Optional[np.ndarray] = None
 
     @classmethod
     def fresh(cls, num_users: int) -> "StreakState":
@@ -69,6 +83,68 @@ class StreakState:
             candidate=np.full(num_users, -1, dtype=int),
             entered_at_s=np.zeros(num_users),
         )
+
+    @classmethod
+    def keyed(cls, user_ids: Sequence[int]) -> "StreakState":
+        """A fresh state keyed by ``user_ids`` (one row per user, no streaks)."""
+        ids = np.asarray(user_ids, dtype=int)
+        return cls(
+            candidate=np.full(ids.shape[0], -1, dtype=int),
+            entered_at_s=np.zeros(ids.shape[0]),
+            user_ids=ids,
+        )
+
+    def aligned_to(self, user_ids: Sequence[int]) -> "StreakState":
+        """Rows of this state remapped onto ``user_ids`` (churn-safe carry).
+
+        Each requested user keeps their carried ``(candidate, entered_at)``
+        row if present, and starts a fresh ``(-1, 0.0)`` streak otherwise;
+        carried rows whose user is absent from ``user_ids`` are dropped.
+        Requires an id-keyed state (``user_ids`` set).
+        """
+        if self.user_ids is None:
+            raise ValueError(
+                "aligned_to() needs an id-keyed StreakState; build one with "
+                "StreakState.keyed() or evaluate(..., user_ids=...)"
+            )
+        ids = np.asarray(user_ids, dtype=int)
+        row_of = {int(uid): row for row, uid in enumerate(self.user_ids)}
+        candidate = np.full(ids.shape[0], -1, dtype=int)
+        entered_at = np.zeros(ids.shape[0])
+        for row, uid in enumerate(ids):
+            carried = row_of.get(int(uid))
+            if carried is not None:
+                candidate[row] = self.candidate[carried]
+                entered_at[row] = self.entered_at_s[carried]
+        return StreakState(candidate=candidate, entered_at_s=entered_at, user_ids=ids)
+
+    def without(self, user_id: int) -> "StreakState":
+        """This state minus ``user_id``'s row (no-op when absent).
+
+        Dropping the row resets the user: the next :meth:`aligned_to` call
+        backfills a fresh ``(-1, 0.0)`` streak for them, which is exactly
+        the (re-)attach semantics the controller wants.
+        """
+        if self.user_ids is None:
+            raise ValueError("without() needs an id-keyed StreakState")
+        keep = self.user_ids != int(user_id)
+        if keep.all():
+            return self
+        return StreakState(
+            candidate=self.candidate[keep],
+            entered_at_s=self.entered_at_s[keep],
+            user_ids=self.user_ids[keep],
+        )
+
+    def streak_of(self, user_id: int) -> Tuple[int, float]:
+        """``(candidate, entered_at_s)`` of one user (fresh when unknown)."""
+        if self.user_ids is None:
+            raise ValueError("streak_of() needs an id-keyed StreakState")
+        rows = np.flatnonzero(self.user_ids == int(user_id))
+        if rows.size == 0:
+            return -1, 0.0
+        row = int(rows[0])
+        return int(self.candidate[row]), float(self.entered_at_s[row])
 
 
 @dataclass(frozen=True)
@@ -112,10 +188,17 @@ class HandoverPolicy:
         self.config = config if config is not None else HandoverConfig()
 
     def measurement_times(self, start_s: float, end_s: float) -> np.ndarray:
-        """Measurement sample times covering ``[start_s, end_s)``."""
+        """Measurement sample times covering ``[start_s, end_s)``.
+
+        Built from an integer step count (:func:`repro.timegrid.time_grid`)
+        rather than float-step ``np.arange``, so long-horizon grids never
+        gain or drop a sample to accumulated float error — a spurious extra
+        sample would break the ``(T, U, C)`` measurement reshape and shift
+        every time-to-trigger window by one period.
+        """
         if end_s <= start_s:
             raise ValueError("end_s must be greater than start_s")
-        return np.arange(start_s, end_s, self.config.sample_period_s)
+        return time_grid(start_s, end_s, self.config.sample_period_s)
 
     def evaluate(
         self,
@@ -123,6 +206,7 @@ class HandoverPolicy:
         snr_db: np.ndarray,
         serving_index: Sequence[int],
         state: "StreakState | None" = None,
+        user_ids: "Sequence[int] | None" = None,
     ) -> Tuple[List[HandoverDecision], np.ndarray, StreakState]:
         """Walk the measurement samples and trigger handovers.
 
@@ -138,6 +222,14 @@ class HandoverPolicy:
             Streak state carried over from the previous batch (fresh state
             when omitted).  Passing the returned state back in keeps
             time-to-trigger windows continuous across batch boundaries.
+        user_ids:
+            User id of each measurement column, shape ``(U,)``.  When given,
+            the carried ``state`` is remapped *by id* onto this batch
+            (:meth:`StreakState.aligned_to`) and the returned state is
+            id-keyed — the churn-safe way to persist streaks while users
+            join and leave between batches.  Without it, ``state`` is
+            applied positionally and must describe the exact same user
+            array as this batch.
 
         Returns ``(decisions, final_serving_index, state)``.  Decisions are
         ordered by (time, user index); a user can hand over more than once
@@ -153,7 +245,31 @@ class HandoverPolicy:
         if times.shape[0] != snr.shape[0] or serving.shape[0] != snr.shape[1]:
             raise ValueError("times_s, snr_db and serving_index shapes disagree")
         num_users = serving.shape[0]
-        state = state if state is not None else StreakState.fresh(num_users)
+        ids = None if user_ids is None else np.asarray(user_ids, dtype=int)
+        if ids is not None:
+            if ids.shape[0] != num_users:
+                raise ValueError("user_ids and serving_index shapes disagree")
+            if state is None:
+                state = StreakState.keyed(ids)
+            elif state.user_ids is not None:
+                state = state.aligned_to(ids)
+            elif state.candidate.shape[0] == num_users:
+                # Positional state adopted as-is: the caller vouches that its
+                # rows line up with this batch; from here on it is id-keyed.
+                state = StreakState(
+                    candidate=state.candidate,
+                    entered_at_s=state.entered_at_s,
+                    user_ids=ids,
+                )
+            else:
+                raise ValueError(
+                    "positional state and user_ids shapes disagree; carry an "
+                    "id-keyed StreakState across batches with churn"
+                )
+        else:
+            state = state if state is not None else StreakState.fresh(num_users)
+            # A keyed state applied positionally keeps its keying on return.
+            ids = state.user_ids
         if state.candidate.shape[0] != num_users:
             raise ValueError("state and serving_index shapes disagree")
         if num_users == 0 or times.shape[0] == 0 or snr.shape[2] < 2:
@@ -188,4 +304,8 @@ class HandoverPolicy:
                 )
             serving = np.where(triggered, best, serving)
             candidate = np.where(triggered, -1, candidate)
-        return decisions, serving, StreakState(candidate=candidate, entered_at_s=entered_at)
+        return (
+            decisions,
+            serving,
+            StreakState(candidate=candidate, entered_at_s=entered_at, user_ids=ids),
+        )

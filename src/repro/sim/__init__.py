@@ -19,6 +19,7 @@ from repro.sim.clock import SimulationClock
 from repro.sim.events import Event, EventQueue
 from repro.sim.metrics import MetricRecorder, SeriesSummary
 from repro.sim.config import SimulationConfig
+from repro.sim.rng import RngRegistry, derive_seed_sequence, derive_stream
 from repro.sim.simulator import (
     GroupIntervalUsage,
     IntervalResult,
@@ -33,10 +34,13 @@ __all__ = [
     "GroupIntervalUsage",
     "IntervalResult",
     "MetricRecorder",
+    "RngRegistry",
     "SeriesSummary",
     "SimulationClock",
     "SimulationConfig",
     "StreamingSimulator",
     "UserState",
+    "derive_seed_sequence",
+    "derive_stream",
     "singleton_grouping",
 ]

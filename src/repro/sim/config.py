@@ -46,21 +46,30 @@ class SimulationConfig:
     stream_bandwidth_hz: float = 1.8e6  # bandwidth assumed per multicast stream
     implementation_loss: float = 0.9
     channel_sample_period_s: float = 5.0
-    #: How shadowing/fading randomness is drawn from the shared generator,
-    #: which also selects the per-interval engine.  ``"compat"`` draws per
-    #: sample in the exact order of the pre-vectorization scalar path, so any
-    #: seed reproduces the scalar-era streams bit-for-bit -- the mode every
-    #: identical-seed regression (goldens, engine-equivalence benchmarks)
-    #: relies on.  ``"fast"`` activates the batched interval engine: one SNR
-    #: tensor per (base station, interval) instead of per group member, and
-    #: whole-array watch-duration draws per video.  Same channel/behaviour
-    #: statistics, different generator walk: totals for a given seed differ
-    #: from compat mode, so use it where throughput matters and only
-    #: run-to-run determinism (not cross-mode seed compatibility) is needed.
-    #: The default ``None`` resolves to ``"fast"`` in
+    #: How shadowing/fading randomness is drawn, which also selects the
+    #: per-interval engine.  ``"compat"`` draws per sample in the exact
+    #: order of the pre-vectorization scalar path from one shared
+    #: generator, so any seed reproduces the scalar-era streams
+    #: bit-for-bit -- the mode every identical-seed regression (goldens,
+    #: engine-equivalence benchmarks) relies on.  ``"fast"`` activates the
+    #: batched interval engine: one SNR tensor per (base station, interval)
+    #: instead of per group member, and whole-array watch-duration draws
+    #: per video -- same channel/behaviour statistics, different shared-
+    #: generator walk.  ``"grouped"`` replaces the shared generator on the
+    #: playback path with per-``(seed, interval, scoped group)`` streams
+    #: derived via :mod:`repro.sim.rng` (plus per-user setup/collection
+    #: streams), making results order-independent across groups and
+    #: identical for any ``playback_workers`` count; its totals differ from
+    #: both other modes for a given seed.  The default ``None`` resolves to
+    #: ``"grouped"`` when ``playback_workers > 1``, else ``"fast"`` in
     #: ``controller_mode="handover"`` (nothing there depends on scalar-era
     #: streams) and ``"compat"`` in ``"boundary"`` mode.
     channel_draw_mode: Optional[str] = None
+    #: Number of processes interval playback is sharded over (``"grouped"``
+    #: draw mode only -- the other modes walk one shared generator and are
+    #: inherently sequential).  ``1`` plays the same per-group streams
+    #: serially; any value yields identical results for identical seeds.
+    playback_workers: int = 1
 
     # Multi-cell RAN controller (see repro.net.controller).
     #: ``"boundary"`` keeps the pre-controller behaviour (strongest-cell
@@ -113,14 +122,25 @@ class SimulationConfig:
             raise ValueError("channel_sample_period_s must be positive")
         if self.controller_mode not in ("boundary", "handover"):
             raise ValueError("controller_mode must be 'boundary' or 'handover'")
+        if self.playback_workers < 1:
+            raise ValueError("playback_workers must be at least 1")
         if self.channel_draw_mode is None:
-            self.channel_draw_mode = (
-                "fast" if self.controller_mode == "handover" else "compat"
-            )
-        if self.channel_draw_mode not in ("compat", "fast"):
+            if self.playback_workers > 1:
+                self.channel_draw_mode = "grouped"
+            else:
+                self.channel_draw_mode = (
+                    "fast" if self.controller_mode == "handover" else "compat"
+                )
+        if self.channel_draw_mode not in ("compat", "fast", "grouped"):
             raise ValueError(
-                "channel_draw_mode must be 'compat' or 'fast' (or None for the "
-                f"controller-mode default), got {self.channel_draw_mode!r}"
+                "channel_draw_mode must be 'compat', 'fast' or 'grouped' (or "
+                f"None for the mode default), got {self.channel_draw_mode!r}"
+            )
+        if self.playback_workers > 1 and self.channel_draw_mode != "grouped":
+            raise ValueError(
+                "playback_workers > 1 requires channel_draw_mode='grouped': the "
+                "compat/fast modes consume one shared generator and cannot be "
+                "sharded without changing results"
             )
         if self.handover_hysteresis_db < 0 or self.handover_time_to_trigger_s < 0:
             raise ValueError("handover hysteresis and time-to-trigger must be non-negative")

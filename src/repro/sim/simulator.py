@@ -23,8 +23,10 @@ prediction scheme is evaluated against.
 
 from __future__ import annotations
 
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -47,6 +49,8 @@ from repro.net.multicast import group_spectral_efficiency, resource_blocks_for_t
 from repro.sim.clock import SimulationClock
 from repro.sim.config import SimulationConfig
 from repro.sim.metrics import MetricRecorder
+from repro.sim.rng import RngRegistry, grouped_watch_stream
+from repro.timegrid import time_grid
 from repro.twin.collector import StatusCollector
 from repro.twin.manager import DigitalTwinManager
 from repro.twin.attributes import SERVING_CELL, serving_cell_attribute, standard_attributes
@@ -170,6 +174,148 @@ def singleton_grouping(user_ids: Sequence[int]) -> Dict[int, List[int]]:
     return {index: [user_id] for index, user_id in enumerate(user_ids)}
 
 
+# --------------------------------------------------------------------------
+# Grouped playback: one self-contained, picklable task per (interval, group).
+#
+# In ``channel_draw_mode="grouped"`` every random draw a group's playback
+# consumes comes from its own ``(seed, interval, scoped group)`` stream
+# (:mod:`repro.sim.rng`), re-derived from the key inside the play function.
+# A task therefore carries *data only* — no generator state — which is what
+# makes process-shard boundaries draw-exact: a worker produces bit-identical
+# results to the serial path, for any worker count and any group order.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GroupPlaybackTask:
+    """Everything one group's interval playback needs, picklable."""
+
+    group_id: int
+    member_ids: Tuple[int, ...]
+    representation: Representation
+    efficiency: float
+    start_s: float
+    end_s: float
+    #: Cumulative video-sampling distribution of this group (popularity x
+    #: group preference), computed against the parent's live popularity.
+    cdf: np.ndarray
+    #: ``(members, categories)`` preference-weight matrix, rows in
+    #: ``member_ids`` order, columns in the catalog's category order.
+    weights: np.ndarray
+    seed: int
+    interval_index: int
+
+
+def play_group_task(
+    task: GroupPlaybackTask,
+    catalog: "VideoCatalog",
+    watching_model: WatchingDurationModel,
+    video_ids: np.ndarray,
+    category_indices: np.ndarray,
+    swipe_gap_s: float,
+    rb_bandwidth_hz: float,
+    interval_s: float,
+) -> tuple:
+    """Play one group's shared multicast stream from its own streams.
+
+    Pure function of the task plus static content state: the video-choice
+    and watch-duration draws come from the task's ``(seed, interval,
+    group)`` watch stream, so the result is independent of every other
+    group and of which process runs it.  Returns ``(usage,
+    events_by_member, requests)`` where ``requests`` holds picklable
+    ``(video_id, transmitted_s)`` pairs (the parent re-resolves videos for
+    edge transcoding).
+    """
+    rng = grouped_watch_stream(task.seed, task.interval_index, task.group_id)
+    member_ids = list(task.member_ids)
+    events: Dict[int, List[ViewingEvent]] = {uid: [] for uid in member_ids}
+    now = task.start_s
+    end_s = task.end_s
+    traffic_bits = 0.0
+    videos_played = 0
+    engagement_seconds = 0.0
+    requests: List[tuple] = []
+    while now < end_s:
+        row = sample_index(task.cdf, rng)
+        video = catalog.get(int(video_ids[row]))
+        durations = watching_model.sample_watch_durations(
+            video, task.weights[:, category_indices[row]], rng
+        )
+        member_durations: Dict[int, float] = dict(zip(member_ids, durations.tolist()))
+        transmitted = max(member_durations.values())
+        transmitted = min(transmitted, end_s - now)
+        for uid, duration in member_durations.items():
+            # Same boundary rule as the shared-generator engines: `swiped`
+            # reflects the intended (uncapped) duration, engagement and
+            # traffic use the interval-capped time.
+            swiped = duration < video.duration_s - 1e-9
+            duration = min(duration, end_s - now)
+            record = WatchRecord(
+                user_id=uid,
+                video_id=video.video_id,
+                category=video.category,
+                watch_duration_s=duration,
+                video_duration_s=video.duration_s,
+                swiped=swiped,
+                timestamp_s=now,
+            )
+            events[uid].append(ViewingEvent(record=record, start_time_s=now))
+            engagement_seconds += duration
+        traffic_bits += video.bits_watched(task.representation, transmitted)
+        requests.append((video.video_id, transmitted))
+        videos_played += 1
+        now += transmitted + swipe_gap_s
+
+    blocks = resource_blocks_for_traffic(
+        traffic_bits,
+        task.efficiency,
+        rb_bandwidth_hz=rb_bandwidth_hz,
+        interval_s=interval_s,
+    )
+    usage = GroupIntervalUsage(
+        group_id=task.group_id,
+        member_ids=member_ids,
+        traffic_bits=traffic_bits,
+        efficiency_bps_hz=task.efficiency,
+        representation_name=task.representation.name,
+        resource_blocks=blocks,
+        computing_cycles=0.0,  # filled in after edge processing
+        videos_played=videos_played,
+        engagement_seconds=engagement_seconds,
+    )
+    return usage, events, requests
+
+
+#: Static per-worker playback state, set once by the pool initializer.
+_PLAYBACK_WORKER_STATE: Optional[tuple] = None
+
+
+def _init_playback_worker(
+    catalog: "VideoCatalog",
+    watching_model: WatchingDurationModel,
+    video_ids: np.ndarray,
+    category_indices: np.ndarray,
+    swipe_gap_s: float,
+    rb_bandwidth_hz: float,
+    interval_s: float,
+) -> None:
+    global _PLAYBACK_WORKER_STATE
+    _PLAYBACK_WORKER_STATE = (
+        catalog,
+        watching_model,
+        video_ids,
+        category_indices,
+        swipe_gap_s,
+        rb_bandwidth_hz,
+        interval_s,
+    )
+
+
+def _play_group_task_in_worker(task: GroupPlaybackTask) -> tuple:
+    assert _PLAYBACK_WORKER_STATE is not None, "playback worker not initialized"
+    return play_group_task(task, *_PLAYBACK_WORKER_STATE)
+
+
 class StreamingSimulator:
     """Ground-truth simulator of DT-assisted multicast short-video streaming."""
 
@@ -177,6 +323,12 @@ class StreamingSimulator:
         self.config = config if config is not None else SimulationConfig()
         config = self.config
         self._rng = np.random.default_rng(config.seed)
+        #: SeedSequence-derived stream registry (see repro.sim.rng).  The
+        #: grouped engine draws *everything* from keyed child streams; the
+        #: compat/fast engines keep walking the shared generator above so
+        #: their identical-seed goldens stay bit-for-bit.
+        self._registry = RngRegistry(config.seed)
+        self._pool: Optional[ProcessPoolExecutor] = None
 
         # Content.
         self.catalog = VideoCatalog.generate(
@@ -220,13 +372,15 @@ class StreamingSimulator:
                 else None
             )
             preference = random_preference(
-                self._rng,
+                self._user_setup_rng(user_id),
                 categories=config.categories,
                 concentration=config.preference_concentration,
                 favourite=favourite,
                 favourite_boost=config.favourite_boost,
             )
-            mobility = GraphTrajectoryMobility(self.campus, seed=config.seed * 1000 + user_id)
+            mobility = GraphTrajectoryMobility(
+                self.campus, seed=self._mobility_seed(user_id)
+            )
             self.users[user_id] = UserState(
                 user_id=user_id,
                 mobility=mobility,
@@ -286,6 +440,85 @@ class StreamingSimulator:
         self.metrics = MetricRecorder()
         self.history: List[IntervalResult] = []
 
+    # ----------------------------------------------------------- rng streams
+    @property
+    def _grouped(self) -> bool:
+        return self.config.channel_draw_mode == "grouped"
+
+    def _user_setup_rng(self, user_id: int) -> np.random.Generator:
+        """Stream for one user's setup draws (preference vector).
+
+        Grouped mode keys it per user so population churn never perturbs
+        another user's draws; the compat/fast modes keep consuming the
+        shared generator in registration order (their goldens pin it).
+        """
+        if self._grouped:
+            return self._registry.preference_stream(user_id)
+        return self._rng
+
+    def _mobility_seed(self, user_id: int):
+        """Seed of one user's trajectory stream.
+
+        Grouped mode derives ``SeedSequence((seed, user_id))`` via the
+        registry, which is collision-free across (seed, user) pairs.  The
+        legacy ``seed * 1000 + user_id`` arithmetic — under which user 1000
+        at seed ``s`` replays user 0's walk at seed ``s + 1`` — is kept
+        *only* as the compat/fast shim, because the identical-seed goldens
+        of those modes pin the old trajectories.
+        """
+        if self._grouped:
+            return self._registry.mobility_seed(user_id)
+        return self.config.seed * 1000 + user_id
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Shut down the playback worker pool (no-op when never started)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "StreamingSimulator":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _playback_pool(self) -> ProcessPoolExecutor:
+        """The lazily-started process pool playback is sharded over.
+
+        Workers are initialised once with the static content state (catalog,
+        watching model, per-video sampling arrays); everything that changes
+        between intervals travels inside each :class:`GroupPlaybackTask`.
+        The pool survives across intervals and is torn down by :meth:`close`.
+        """
+        if self._pool is None:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            video_ids, _, category_indices, _ = self.catalog.sampling_arrays()
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.config.playback_workers,
+                mp_context=context,
+                initializer=_init_playback_worker,
+                initargs=(
+                    self.catalog,
+                    self.watching_model,
+                    video_ids,
+                    category_indices,
+                    self.config.swipe_gap_s,
+                    self.config.rb_bandwidth_hz,
+                    self.config.interval_s,
+                ),
+            )
+        return self._pool
+
     # ------------------------------------------------------------ population
     def user_ids(self) -> List[int]:
         return sorted(self.users.keys())
@@ -308,13 +541,13 @@ class StreamingSimulator:
         if favourite is not None and favourite not in config.categories:
             raise ValueError(f"favourite {favourite!r} not in configured categories")
         preference = random_preference(
-            self._rng,
+            self._user_setup_rng(user_id),
             categories=config.categories,
             concentration=config.preference_concentration,
             favourite=favourite,
             favourite_boost=config.favourite_boost,
         )
-        mobility = GraphTrajectoryMobility(self.campus, seed=config.seed * 1000 + user_id)
+        mobility = GraphTrajectoryMobility(self.campus, seed=self._mobility_seed(user_id))
         self.users[user_id] = UserState(
             user_id=user_id,
             mobility=mobility,
@@ -378,7 +611,7 @@ class StreamingSimulator:
         per-sample order of the scalar path, so results are identical for
         identical seeds.
         """
-        times = np.arange(start_s, end_s, self.config.channel_sample_period_s)
+        times = time_grid(start_s, end_s, self.config.channel_sample_period_s)
         interleaved = self.config.channel_draw_mode == "compat"
         snrs: Dict[int, np.ndarray] = {}
         for user_id in member_ids:
@@ -420,8 +653,7 @@ class StreamingSimulator:
         Returns ``{group_id: (efficiency, representation, mean_snr_by_user)}``
         exactly as :meth:`group_link_state` would per group.
         """
-        times = np.arange(start_s, end_s, self.config.channel_sample_period_s)
-        num_times = times.shape[0]
+        times = time_grid(start_s, end_s, self.config.channel_sample_period_s)
         member_order = [uid for member_ids in grouping.values() for uid in member_ids]
         positions = {
             uid: self.users[uid].mobility.positions(times) for uid in member_order
@@ -434,16 +666,67 @@ class StreamingSimulator:
             served = by_station.get(bs.bs_id)
             if not served:
                 continue
-            stacked = np.concatenate([positions[uid] for uid in served], axis=0)
-            traces = bs.sample_snr_db_batch(
-                stacked, rng=self._rng, interleaved=False
-            ).reshape(len(served), num_times)
+            traces = bs.sample_snr_traces(
+                np.stack([positions[uid] for uid in served], axis=0), rng=self._rng
+            )
             for row, uid in enumerate(served):
                 mean_snr[uid] = float(traces[row].mean())
         ladder = self.catalog.reference_ladder()
         link_states: Dict[int, tuple] = {}
         for group_id, member_ids in grouping.items():
             mean_snrs = {uid: mean_snr[uid] for uid in member_ids}
+            efficiency = group_spectral_efficiency(
+                list(mean_snrs.values()),
+                implementation_loss=self.config.implementation_loss,
+            )
+            representation = ladder.best_fitting(
+                efficiency * self.config.stream_bandwidth_hz
+            )
+            link_states[group_id] = (efficiency, representation, mean_snrs)
+        return link_states
+
+    def _grouped_link_states(
+        self,
+        grouping: Mapping[int, Sequence[int]],
+        start_s: float,
+        end_s: float,
+        interval_index: int,
+    ) -> Dict[int, tuple]:
+        """Stage 1 of the grouped engine: per-group channel streams.
+
+        Like :meth:`_interval_link_states` this batches position queries per
+        user and SNR draws per (group, station) block, but every group's
+        fading comes from its own ``(seed, interval, scoped group)`` channel
+        stream instead of the shared generator.  Groups are walked in sorted
+        scoped-id order for a deterministic result layout, yet because no
+        stream is shared the values themselves are independent of that
+        order — the property the sharded playback (and any future stage-1
+        parallelism) rests on.
+        """
+        times = time_grid(start_s, end_s, self.config.channel_sample_period_s)
+        member_order = [uid for member_ids in grouping.values() for uid in member_ids]
+        positions = {
+            uid: self.users[uid].mobility.positions(times) for uid in member_order
+        }
+        ladder = self.catalog.reference_ladder()
+        link_states: Dict[int, tuple] = {}
+        for group_id in sorted(grouping):
+            member_ids = list(grouping[group_id])
+            rng = self._registry.channel_stream(interval_index, group_id)
+            by_station: Dict[int, List[int]] = {}
+            for uid in member_ids:
+                by_station.setdefault(self.users[uid].serving_bs_id, []).append(uid)
+            mean_by_user: Dict[int, float] = {}
+            # Station order is sorted so the group's stream walk is a pure
+            # function of (members, associations), never of dict history.
+            for bs_id in sorted(by_station):
+                served = by_station[bs_id]
+                traces = self._base_station(bs_id).sample_snr_traces(
+                    np.stack([positions[uid] for uid in served], axis=0), rng=rng
+                )
+                for row, uid in enumerate(served):
+                    mean_by_user[uid] = float(traces[row].mean())
+            mean_snrs = {uid: mean_by_user[uid] for uid in member_ids}
             efficiency = group_spectral_efficiency(
                 list(mean_snrs.values()),
                 implementation_loss=self.config.implementation_loss,
@@ -522,36 +805,49 @@ class StreamingSimulator:
         events_by_user: Dict[int, List[ViewingEvent]] = {uid: [] for uid in self.users}
         transcode_requests: Dict[int, List[tuple]] = {}
 
-        # Fast draw mode runs the staged engine: one SNR tensor per base
+        # Grouped draw mode runs the per-group-stream engine (serial or
+        # process-sharded, identical results either way).  Fast mode runs
+        # the staged shared-generator engine: one SNR tensor per base
         # station for the whole interval instead of per-member sampling
         # inside the group loop.  Compat mode keeps the sequential per-group
         # path so the scalar-era generator stream is preserved bit-for-bit.
-        link_states = (
-            self._interval_link_states(played_grouping, start_s, end_s)
-            if self.config.channel_draw_mode == "fast"
-            else None
-        )
-
-        for group_id, member_ids in played_grouping.items():
-            member_ids = list(member_ids)
-            if link_states is not None:
-                efficiency, representation, mean_snrs = link_states[group_id]
-            else:
-                efficiency, representation, mean_snrs = self.group_link_state(
-                    member_ids, start_s, end_s
-                )
-            result.mean_snr_by_user.update(mean_snrs)
-            usage = self._play_group_stream(
-                group_id,
-                member_ids,
-                representation,
-                efficiency,
+        if self._grouped:
+            self._run_grouped_playback(
+                played_grouping,
                 start_s,
                 end_s,
+                interval_index,
+                result,
                 events_by_user,
                 transcode_requests,
             )
-            result.usage_by_group[group_id] = usage
+        else:
+            link_states = (
+                self._interval_link_states(played_grouping, start_s, end_s)
+                if self.config.channel_draw_mode == "fast"
+                else None
+            )
+
+            for group_id, member_ids in played_grouping.items():
+                member_ids = list(member_ids)
+                if link_states is not None:
+                    efficiency, representation, mean_snrs = link_states[group_id]
+                else:
+                    efficiency, representation, mean_snrs = self.group_link_state(
+                        member_ids, start_s, end_s
+                    )
+                result.mean_snr_by_user.update(mean_snrs)
+                usage = self._play_group_stream(
+                    group_id,
+                    member_ids,
+                    representation,
+                    efficiency,
+                    start_s,
+                    end_s,
+                    events_by_user,
+                    transcode_requests,
+                )
+                result.usage_by_group[group_id] = usage
 
         # Edge transcoding for all groups of this interval.
         compute_usage = self.edge.process_interval(interval_index, transcode_requests, time_s=start_s)
@@ -578,6 +874,87 @@ class StreamingSimulator:
         self.metrics.record("traffic.total_bits", result.total_traffic_bits)
         self.clock.advance_interval()
         return result
+
+    def _run_grouped_playback(
+        self,
+        grouping: Mapping[int, Sequence[int]],
+        start_s: float,
+        end_s: float,
+        interval_index: int,
+        result: IntervalResult,
+        events_by_user: Dict[int, List[ViewingEvent]],
+        transcode_requests: Dict[int, List[tuple]],
+    ) -> None:
+        """Play one interval with per-group streams, optionally sharded.
+
+        Stage 1 (:meth:`_grouped_link_states`) runs once in the parent —
+        mobility models are stateful and stay here.  Stage 2 builds one
+        picklable :class:`GroupPlaybackTask` per scoped group and maps
+        :func:`play_group_task` over them, either in-process
+        (``playback_workers == 1``) or over the process pool.  Outcomes are
+        merged in sorted scoped-group order, so collector appends, usage
+        totals and transcode requests are assembled identically for every
+        worker count.
+        """
+        link_states = self._grouped_link_states(
+            grouping, start_s, end_s, interval_index
+        )
+        video_ids, _, category_indices, categories = self.catalog.sampling_arrays()
+        tasks: List[GroupPlaybackTask] = []
+        for group_id in sorted(grouping):
+            member_ids = tuple(grouping[group_id])
+            efficiency, representation, _ = link_states[group_id]
+            group_preference = self._group_preference(member_ids)
+            cdf = sampling_cdf(self._video_sampling_probabilities(group_preference))
+            weights = np.vstack(
+                [self.users[uid].preference.as_array(categories) for uid in member_ids]
+            )
+            tasks.append(
+                GroupPlaybackTask(
+                    group_id=group_id,
+                    member_ids=member_ids,
+                    representation=representation,
+                    efficiency=efficiency,
+                    start_s=start_s,
+                    end_s=end_s,
+                    cdf=cdf,
+                    weights=weights,
+                    seed=self.config.seed,
+                    interval_index=interval_index,
+                )
+            )
+
+        if self.config.playback_workers > 1 and len(tasks) > 1:
+            chunksize = max(1, len(tasks) // (self.config.playback_workers * 4))
+            outcomes = list(
+                self._playback_pool().map(
+                    _play_group_task_in_worker, tasks, chunksize=chunksize
+                )
+            )
+        else:
+            outcomes = [
+                play_group_task(
+                    task,
+                    self.catalog,
+                    self.watching_model,
+                    video_ids,
+                    category_indices,
+                    self.config.swipe_gap_s,
+                    self.config.rb_bandwidth_hz,
+                    self.config.interval_s,
+                )
+                for task in tasks
+            ]
+
+        for task, (usage, events, requests) in zip(tasks, outcomes):
+            result.mean_snr_by_user.update(link_states[task.group_id][2])
+            result.usage_by_group[task.group_id] = usage
+            for uid, user_events in events.items():
+                events_by_user[uid].extend(user_events)
+            transcode_requests[task.group_id] = [
+                (self.catalog.get(video_id), task.representation, transmitted)
+                for video_id, transmitted in requests
+            ]
 
     def _run_controller_phase(
         self, result: IntervalResult, start_s: float, end_s: float
@@ -775,7 +1152,18 @@ class StreamingSimulator:
         end_s: float,
     ) -> None:
         report_cells = self.controller is not None
+        grouped = self._grouped
+        interval_index = self.clock.current_interval
         for uid, user in self.users.items():
+            # Grouped mode hands the collector a per-(interval, user) stream
+            # so one user's channel-report draws never depend on how many
+            # samples any other user (or any group) consumed; the shared
+            # generator remains the compat/fast behaviour.
+            rng = (
+                self._registry.collection_stream(interval_index, uid)
+                if grouped
+                else self._rng
+            )
             self.collector.collect_interval(
                 self.twins.twin(uid),
                 user.mobility,
@@ -784,7 +1172,7 @@ class StreamingSimulator:
                 events_by_user.get(uid, []),
                 start_s,
                 end_s,
-                rng=self._rng,
+                rng=rng,
                 serving_cell=user.serving_bs_id if report_cells else None,
             )
 

@@ -25,6 +25,7 @@ from repro.behavior.preference import PreferenceVector
 from repro.behavior.session import ViewingEvent
 from repro.mobility.trajectory import MobilityModel
 from repro.net.basestation import BaseStation
+from repro.timegrid import time_grid
 from repro.twin.attributes import CHANNEL_CONDITION, LOCATION, PREFERENCE, SERVING_CELL
 from repro.twin.udt import UserDigitalTwin
 
@@ -91,7 +92,10 @@ class StatusCollector:
         effective_period = period_s * self.policy.period_multiplier
         if effective_period >= end_s - start_s:
             return np.array([start_s])
-        return np.arange(start_s, end_s, effective_period)
+        # Integer-step grid: at long horizons a float-step arange can gain
+        # or drop a sample, which would silently change how much randomness
+        # the channel collection consumes for this user.
+        return time_grid(start_s, end_s, effective_period)
 
     def _kept_times(self, udt: UserDigitalTwin, attribute: str, start_s: float, end_s: float) -> np.ndarray:
         spec = udt.attributes[attribute]
@@ -115,6 +119,14 @@ class StatusCollector:
         Each attribute is collected as one batched position/SNR evaluation
         and one bulk append into the twin's time-series store, instead of a
         Python loop over individual samples.
+
+        ``rng`` is the stream the channel-condition draws consume.  The
+        grouped simulation engine passes a dedicated per-(interval, user)
+        stream here (see :class:`repro.sim.rng.RngRegistry`), which makes
+        each user's collected status independent of every other user's —
+        the property that lets collection results merge deterministically
+        no matter how the interval itself was executed.  The legacy modes
+        pass their shared generator, preserving the historical streams.
         """
         if end_s <= start_s:
             raise ValueError("end_s must be greater than start_s")

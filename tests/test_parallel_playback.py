@@ -1,0 +1,418 @@
+"""Tests for per-group RNG streams and process-sharded playback (PR 4).
+
+Covers the tentpole and the three ground-truth fixes that ride with it:
+
+* ``channel_draw_mode="grouped"``: identical ``IntervalResult`` content for
+  any ``playback_workers`` count (serial == sharded), for shuffled group
+  order, and across repeated runs — the per-``(seed, interval, scoped
+  group)`` streams of :mod:`repro.sim.rng` make playback order-independent,
+* churn-safe handover streaks: :class:`~repro.net.handover.StreakState` is
+  keyed by user id and remapped on churn, so a mid-run ``remove_user`` can
+  no longer shift one user's candidate/TTT row onto another,
+* mobility seeding: per-user ``SeedSequence((seed, user_id))`` streams
+  replace the colliding ``seed * 1000 + user_id`` arithmetic, and
+* time grids: integer-step :func:`repro.timegrid.time_grid` replaces
+  float-step ``np.arange`` so long-horizon grids never gain or drop a
+  sample.
+
+The sweep below always covers serial (1) and sharded (2) playback;
+``REPRO_TEST_PLAYBACK_WORKERS`` appends one *extra* worker count (CI sets
+``3`` for an uneven-shard datapoint — values already in the sweep are
+deduplicated, so ``1`` or ``2`` are no-ops).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import SimulationConfig, StreamingSimulator
+from repro.core.pipeline import DTResourcePredictionScheme
+from repro.core.config import SchemeConfig
+from repro.mobility.trajectory import GraphTrajectoryMobility
+from repro.net.handover import HandoverConfig, HandoverPolicy, StreakState
+from repro.sim.rng import RngRegistry, derive_stream
+from repro.timegrid import num_grid_steps, time_grid
+
+WORKER_COUNTS = [1, 2]
+_extra = os.environ.get("REPRO_TEST_PLAYBACK_WORKERS")
+if _extra is not None and int(_extra) not in WORKER_COUNTS:
+    WORKER_COUNTS.append(int(_extra))
+
+
+# ------------------------------------------------------------------ helpers
+def _grouped_config(workers: int = 1, **overrides) -> SimulationConfig:
+    options = dict(
+        num_users=10,
+        num_videos=30,
+        num_intervals=2,
+        interval_s=90.0,
+        seed=31,
+        channel_draw_mode="grouped",
+        playback_workers=workers,
+    )
+    options.update(overrides)
+    return SimulationConfig(**options)
+
+
+def _grouping(sim: StreamingSimulator, reverse: bool = False):
+    ids = sim.user_ids()
+    grouping = {0: ids[: len(ids) // 2], 1: ids[len(ids) // 2 :]}
+    if reverse:
+        return dict(reversed(list(grouping.items())))
+    return grouping
+
+
+def _interval_fingerprint(result) -> tuple:
+    """Everything playback produced, in a comparable form."""
+    return (
+        result.total_traffic_bits,
+        result.total_resource_blocks,
+        result.total_computing_cycles,
+        tuple(sorted(result.mean_snr_by_user.items())),
+        tuple(
+            (
+                gid,
+                tuple(usage.member_ids),
+                usage.traffic_bits,
+                usage.efficiency_bps_hz,
+                usage.representation_name,
+                usage.resource_blocks,
+                usage.computing_cycles,
+                usage.videos_played,
+                usage.engagement_seconds,
+            )
+            for gid, usage in sorted(result.usage_by_group.items())
+        ),
+        tuple(
+            (uid, tuple(events))
+            for uid, events in sorted(result.events_by_user.items())
+        ),
+    )
+
+
+def _run_grouped(workers: int, reverse_grouping: bool = False, **overrides):
+    """``(fingerprints, twin_tensor)`` of a 2-interval grouped run."""
+    config = _grouped_config(workers, **overrides)
+    with StreamingSimulator(config) as sim:
+        grouping = _grouping(sim, reverse=reverse_grouping)
+        fingerprints = [
+            _interval_fingerprint(sim.run_interval(grouping))
+            for _ in range(config.num_intervals)
+        ]
+        tensor = sim.twins.feature_tensor(
+            0.0, config.num_intervals * config.interval_s, num_steps=16
+        )
+    return fingerprints, tensor
+
+
+# --------------------------------------------------- grouped-engine totals
+class TestShardedPlaybackDeterminism:
+    def test_serial_equals_sharded_for_every_worker_count(self):
+        """The acceptance pin: identical totals for workers=1 and workers>1."""
+        serial, serial_twins = _run_grouped(1)
+        for workers in [w for w in WORKER_COUNTS if w > 1]:
+            sharded, sharded_twins = _run_grouped(workers)
+            assert sharded == serial, f"workers={workers} diverged from serial"
+            np.testing.assert_array_equal(sharded_twins, serial_twins)
+
+    def test_group_order_does_not_change_results(self):
+        forward, twins_fwd = _run_grouped(1)
+        reversed_, twins_rev = _run_grouped(1, reverse_grouping=True)
+        assert forward == reversed_
+        np.testing.assert_array_equal(twins_fwd, twins_rev)
+
+    def test_grouped_runs_are_reproducible(self):
+        assert _run_grouped(1)[0] == _run_grouped(1)[0]
+
+    def test_sharded_handover_mode_matches_serial(self):
+        def run(workers):
+            config = _grouped_config(
+                workers,
+                num_users=12,
+                num_base_stations=4,
+                area_width_m=1200.0,
+                area_height_m=1000.0,
+                controller_mode="handover",
+            )
+            with StreamingSimulator(config) as sim:
+                grouping = _grouping(sim)
+                return [
+                    _interval_fingerprint(sim.run_interval(grouping))
+                    for _ in range(2)
+                ]
+
+        serial = run(1)
+        for workers in [w for w in WORKER_COUNTS if w > 1]:
+            assert run(workers) == serial
+
+    def test_workers_require_grouped_mode(self):
+        for mode in ("compat", "fast"):
+            with pytest.raises(ValueError, match="playback_workers"):
+                SimulationConfig(channel_draw_mode=mode, playback_workers=2)
+
+    def test_default_mode_resolution_with_workers(self):
+        assert SimulationConfig(playback_workers=2).channel_draw_mode == "grouped"
+        assert SimulationConfig(playback_workers=1).channel_draw_mode == "compat"
+
+    def test_close_is_idempotent(self):
+        sim = StreamingSimulator(_grouped_config(2, num_intervals=1))
+        sim.run_interval(_grouping(sim))
+        sim.close()
+        sim.close()
+
+    def test_scheme_runs_sharded_end_to_end(self):
+        def run(workers):
+            sim = StreamingSimulator(
+                _grouped_config(
+                    workers,
+                    num_users=8,
+                    num_videos=20,
+                    num_intervals=3,
+                    interval_s=60.0,
+                )
+            )
+            with DTResourcePredictionScheme(
+                sim,
+                SchemeConfig(
+                    warmup_intervals=2,
+                    cnn_epochs=2,
+                    ddqn_episodes=2,
+                    mc_rollouts=2,
+                    history_intervals=2,
+                    min_groups=2,
+                    max_groups=3,
+                ),
+                k_strategy="fixed",
+            ) as scheme:
+                scheme.fixed_k = 2
+                result = scheme.run(num_intervals=1)
+            assert sim._pool is None, "context manager must close the pool"
+            return (
+                result.intervals[0].predicted_radio_blocks,
+                result.intervals[0].actual_radio_blocks,
+                result.intervals[0].actual_computing_cycles,
+            )
+
+        assert run(1) == run(2)
+
+
+# ------------------------------------------------------------- rng registry
+class TestRngRegistry:
+    def test_streams_are_reproducible_and_distinct(self):
+        registry = RngRegistry(seed=9)
+        a = registry.watch_stream(3, 7).random(4)
+        assert np.array_equal(a, registry.watch_stream(3, 7).random(4))
+        assert not np.array_equal(a, registry.watch_stream(3, 8).random(4))
+        assert not np.array_equal(a, registry.channel_stream(3, 7).random(4))
+
+    def test_negative_seed_is_valid(self):
+        assert derive_stream((-1, 2, 3)).random() == derive_stream((-1, 2, 3)).random()
+
+    def test_mobility_seeding_has_no_cross_seed_collisions(self, campus):
+        """Regression: ``seed * 1000 + user_id`` collided across seeds.
+
+        Under the legacy arithmetic, user 1000 at seed 0 and user 0 at
+        seed 1 shared the integer seed 1000 and therefore replayed the
+        identical trajectory.  The registry's ``SeedSequence((seed,
+        user_id))`` keying keeps them apart.
+        """
+        legacy_a = 0 * 1000 + 1000
+        legacy_b = 1 * 1000 + 0
+        assert legacy_a == legacy_b  # the documented collision
+        times = np.arange(0.0, 600.0, 30.0)
+        collided_a = GraphTrajectoryMobility(campus, seed=legacy_a).positions(times)
+        collided_b = GraphTrajectoryMobility(campus, seed=legacy_b).positions(times)
+        np.testing.assert_array_equal(collided_a, collided_b)
+
+        keyed_a = GraphTrajectoryMobility(
+            campus, seed=RngRegistry(0).mobility_seed(1000)
+        ).positions(times)
+        keyed_b = GraphTrajectoryMobility(
+            campus, seed=RngRegistry(1).mobility_seed(0)
+        ).positions(times)
+        assert not np.array_equal(keyed_a, keyed_b)
+
+    def test_mobility_stream_is_churn_independent(self):
+        """Adding a user must not perturb existing users' draws (grouped)."""
+        def positions_of_user_0(add_extra_user):
+            sim = StreamingSimulator(
+                _grouped_config(1, num_users=4, num_intervals=1)
+            )
+            if add_extra_user:
+                sim.add_user()
+            return sim.users[0].mobility.positions(np.arange(0.0, 300.0, 30.0))
+
+        np.testing.assert_array_equal(
+            positions_of_user_0(False), positions_of_user_0(True)
+        )
+
+
+# ----------------------------------------------------- churn streak carry
+def _snr_tensor(num_times: int, margins_db: np.ndarray) -> np.ndarray:
+    """(T, U, 2) tensor: cell 0 at 10 dB, cell 1 at 10 + margin per user."""
+    num_users = margins_db.shape[0]
+    snr = np.full((num_times, num_users, 2), 10.0)
+    snr[:, :, 1] = 10.0 + margins_db[None, :]
+    return snr
+
+
+class TestChurnSafeStreaks:
+    def test_streak_survives_removal_of_another_user(self):
+        """The PR's churn regression: carried TTT rows follow the user id.
+
+        User 30 establishes a margin streak in batch one.  User 20 (a
+        *lower* row) then leaves.  With id-keyed carry the streak still
+        belongs to user 30 and triggers in batch two; a positional carry
+        would have applied user 20's empty row to user 30 (and user 30's
+        streak to nobody), postponing the handover.
+        """
+        policy = HandoverPolicy(
+            HandoverConfig(hysteresis_db=3.0, time_to_trigger_s=10.0, sample_period_s=5.0)
+        )
+        users = [10, 20, 30]
+        # Only user 30 holds a 6 dB margin towards cell 1.
+        margins = np.array([0.0, 0.0, 6.0])
+        times1 = np.array([0.0, 5.0])
+        decisions, serving, state = policy.evaluate(
+            times1,
+            _snr_tensor(2, margins),
+            serving_index=[0, 0, 0],
+            user_ids=users,
+        )
+        assert decisions == []
+        assert state.streak_of(30) == (1, 0.0)
+        assert state.streak_of(20) == (-1, 0.0)
+
+        # User 20 churns out between batches; the survivors keep their rows.
+        survivors = [10, 30]
+        times2 = np.array([10.0, 15.0])
+        decisions, serving, state = policy.evaluate(
+            times2,
+            _snr_tensor(2, np.array([0.0, 6.0])),
+            serving_index=[0, 0],
+            state=state,
+            user_ids=survivors,
+        )
+        # 10 s of continuous margin elapsed at t=10: the trigger fires for
+        # user 30 (measurement column 1), not for the vanished user.
+        assert [d.user_index for d in decisions] == [1]
+        assert decisions[0].time_s == 10.0
+        assert serving.tolist() == [0, 1]
+
+    def test_positional_carry_across_churn_is_rejected(self):
+        policy = HandoverPolicy(HandoverConfig())
+        _, _, state = policy.evaluate(
+            np.array([0.0]),
+            _snr_tensor(1, np.array([0.0, 6.0, 0.0])),
+            serving_index=[0, 0, 0],
+        )
+        assert state.user_ids is None  # legacy positional state
+        with pytest.raises(ValueError, match="id-keyed"):
+            policy.evaluate(
+                np.array([5.0]),
+                _snr_tensor(1, np.array([0.0, 6.0])),
+                serving_index=[0, 0],
+                state=state,
+                user_ids=[10, 30],
+            )
+
+    def test_aligned_to_remaps_drops_and_backfills(self):
+        state = StreakState.keyed([1, 2, 3])
+        state.candidate[:] = [4, 5, 6]
+        state.entered_at_s[:] = [40.0, 50.0, 60.0]
+        remapped = state.aligned_to([3, 9, 1])
+        assert remapped.candidate.tolist() == [6, -1, 4]
+        assert remapped.entered_at_s.tolist() == [60.0, 0.0, 40.0]
+        assert remapped.user_ids.tolist() == [3, 9, 1]
+
+    def test_simulator_churn_with_streaks_regression(self):
+        """End to end: remove a mid-list user between handover intervals."""
+        config = _grouped_config(
+            1,
+            num_users=9,
+            num_intervals=3,
+            num_base_stations=4,
+            area_width_m=1200.0,
+            area_height_m=1000.0,
+            controller_mode="handover",
+        )
+        with StreamingSimulator(config) as sim:
+            sim.run_interval(_grouping(sim))
+            removed = sim.user_ids()[3]
+            sim.remove_user(removed)
+            streaks = sim.controller._streaks
+            assert removed not in streaks.user_ids.tolist()
+            for _ in range(2):
+                ids = sim.user_ids()
+                result = sim.run_interval(
+                    {0: ids[: len(ids) // 2], 1: ids[len(ids) // 2 :]}
+                )
+                for event in result.handover_events:
+                    assert event.user_id in ids
+            # Carried streak rows describe exactly the surviving users.
+            carried = set(sim.controller._streaks.user_ids.tolist())
+            assert carried == set(sim.user_ids())
+
+
+# ------------------------------------------------------------- time grids
+class TestTimeGrid:
+    def test_matches_arange_on_well_behaved_spans(self):
+        for start, end, step in [
+            (0.0, 300.0, 5.0),
+            (300.0, 600.0, 5.0),
+            (0.0, 90.0, 5.0),
+            (120.0, 420.0, 7.5),
+            (0.0, 300.0, 60.0),
+        ]:
+            np.testing.assert_array_equal(
+                time_grid(start, end, step), np.arange(start, end, step)
+            )
+
+    def test_drops_the_spurious_arange_sample(self):
+        # The classic float-step failure: arange emits a 4th sample at
+        # 1.3000000000000003 >= end.
+        assert np.arange(1.0, 1.3, 0.1).shape[0] == 4
+        grid = time_grid(1.0, 1.3, 0.1)
+        assert grid.shape[0] == 3
+        assert np.all(grid < 1.3)
+
+    def test_long_horizon_counts_are_stable(self):
+        for start in (0.0, 1e6, 1e9, 1e12):
+            grid = time_grid(start, start + 300.0, 5.0)
+            assert grid.shape[0] == 60
+            assert grid[0] == start
+            assert np.all(grid < start + 300.0)
+        assert num_grid_steps(0.0, 300.0, 5.0) == 60
+        assert num_grid_steps(5.0, 5.0, 1.0) == 0
+
+    def test_measurement_grid_never_exceeds_the_interval(self):
+        policy = HandoverPolicy(HandoverConfig(sample_period_s=0.1))
+        times = policy.measurement_times(1.0, 1.3)
+        assert times.shape[0] == 3
+        assert np.all(times < 1.3)
+
+    def test_grouped_playback_far_from_time_origin(self):
+        """Long-horizon regression: intervals far from t=0 stay consistent.
+
+        The simulator clock can be advanced arbitrarily far; the grids that
+        drive channel sampling, collection and handover measurement must
+        keep their per-interval sample counts once there.
+        """
+        config = _grouped_config(1, num_users=6, num_intervals=1)
+        with StreamingSimulator(config) as sim:
+            # Far enough to matter for float grids, near enough that the
+            # lazily-generated mobility legs stay cheap to extend.
+            far_interval = int(1e5 // config.interval_s)
+            sim.clock.advance_to(far_interval * config.interval_s)
+            result = sim.run_interval(_grouping(sim))
+        assert result.start_s == far_interval * config.interval_s
+        grid = time_grid(
+            result.start_s, result.end_s, config.channel_sample_period_s
+        )
+        assert grid.shape[0] == num_grid_steps(0.0, config.interval_s, config.channel_sample_period_s)
+        assert result.total_traffic_bits > 0.0
+        assert set(result.mean_snr_by_user) == set(range(6))
+        assert np.isfinite(list(result.mean_snr_by_user.values())).all()
