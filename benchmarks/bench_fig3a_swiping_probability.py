@@ -2,40 +2,29 @@
 
 The paper plots, for one multicast group whose users "watch News videos most
 while Game videos least", the cumulative swiping probability per video
-category.  This benchmark reproduces the same curve: it runs the Fig. 3
-scenario, picks the News-dominated multicast group (the paper's "group 1"),
-abstracts its swiping profile from the digital twins, and prints the
-cumulative distribution.  The asserted shape is the paper's qualitative
-claim: News carries the largest engagement share (the curve starts with
-News), Game carries less than News, and the distribution is a valid CDF
-ending at 1.
+category.  This benchmark reproduces the same curve by running the
+registered ``campus_fig3`` scenario through the declarative spec → compile
+→ run pipeline (identical seeds and draws as the historical hand-wired
+setup), picking the News-dominated multicast group (the paper's "group 1"),
+and printing the cumulative distribution abstracted from the digital twins.
+The asserted shape is the paper's qualitative claim: News carries the
+largest engagement share (the curve starts with News), Game carries less
+than News, and the distribution is a valid CDF ending at 1.
 """
 
 from __future__ import annotations
 
-import time
+from harness import benchmark_record, run_once, write_benchmark_json
 
-import numpy as np
-
-from harness import benchmark_record, build_scheme, run_once, write_benchmark_json
-
-
-def _select_news_group(profiles):
-    """The paper's 'group 1': the largest group whose users watch News most."""
-    news_groups = [
-        gid for gid, profile in profiles.items() if profile.most_watched_category() == "News"
-    ]
-    candidates = news_groups if news_groups else list(profiles)
-    return max(candidates, key=lambda gid: len(profiles[gid].member_ids))
+from repro.analysis.experiments import select_news_group
+from repro.scenario import run_scenario
 
 
 def _experiment():
-    started = time.perf_counter()
-    scheme = build_scheme()
-    result = scheme.run(num_intervals=6)
-    last = result.intervals[-1]
-    group_id = _select_news_group(last.profiles)
-    return time.perf_counter() - started, last.profiles[group_id]
+    run = run_scenario("campus_fig3")
+    last = run.evaluation.intervals[-1]
+    group_id = select_news_group(last.profiles)
+    return run.elapsed_s, last.profiles[group_id]
 
 
 def _report(elapsed, profile):
@@ -47,6 +36,7 @@ def _report(elapsed, profile):
                 elapsed_s=elapsed,
                 users=24,
                 intervals=6,
+                scenario="campus_fig3",
                 group_id=int(profile.group_id),
                 group_size=len(profile.member_ids),
                 cumulative_swiping=dict(profile.cumulative_swiping),

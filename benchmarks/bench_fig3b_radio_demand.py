@@ -2,29 +2,29 @@
 
 The paper plots predicted and actual radio resource demand of multicast
 group 1 over reservation intervals and reports "a high prediction accuracy
-up to 95.04 %".  This benchmark runs the same scenario, prints the
-per-interval predicted/actual series (total and for the largest group), and
-asserts the reproduced shape: predictions track actuals closely, with a
-peak per-interval accuracy above 95 % and a high mean.
+up to 95.04 %".  This benchmark runs the registered ``campus_fig3``
+scenario through the declarative spec → compile → run pipeline (identical
+seeds and draws as the historical hand-wired setup), prints the
+per-interval predicted/actual series, and asserts the reproduced shape:
+predictions track actuals closely, with a peak per-interval accuracy above
+95 % and a high mean.
 """
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
-from harness import benchmark_record, build_scheme, run_once, write_benchmark_json
+from harness import benchmark_record, run_once, write_benchmark_json
+
+from repro.scenario import run_scenario
 
 
 def _experiment():
-    started = time.perf_counter()
-    scheme = build_scheme()
-    result = scheme.run(num_intervals=7)
-    return time.perf_counter() - started, scheme, result
+    run = run_scenario("campus_fig3", {"num_intervals": 7})
+    return run.elapsed_s, run, run.evaluation
 
 
-def _report(elapsed, scheme, result):
+def _report(elapsed, run, result):
     path = write_benchmark_json(
         "fig3b_radio_demand",
         [
@@ -33,6 +33,7 @@ def _report(elapsed, scheme, result):
                 elapsed_s=elapsed,
                 users=24,
                 intervals=7,
+                scenario=run.scenario,
                 mean_accuracy=float(result.mean_radio_accuracy()),
                 max_accuracy=float(result.max_radio_accuracy()),
                 predicted_blocks=[float(v) for v in result.predicted_radio_series()],
@@ -45,11 +46,11 @@ def _report(elapsed, scheme, result):
     print(f"JSON record: {path}")
     print("Fig. 3(b) — predicted vs actual radio resource demand (resource blocks)")
     print(f"{'interval':>8s} {'groups':>6s} {'predicted':>10s} {'actual':>8s} {'accuracy':>9s}")
-    for evaluation in result.intervals:
+    for record in run.intervals:
         print(
-            f"{evaluation.interval_index:>8d} {evaluation.grouping.num_groups:>6d} "
-            f"{evaluation.predicted_radio_blocks:>10.2f} {evaluation.actual_radio_blocks:>8.2f} "
-            f"{evaluation.radio_accuracy:>9.2%}"
+            f"{record['interval_index']:>8d} {record['num_groups']:>6d} "
+            f"{record['predicted_radio_blocks']:>10.2f} {record['actual_radio_blocks']:>8.2f} "
+            f"{record['radio_accuracy']:>9.2%}"
         )
     mean_accuracy = result.mean_radio_accuracy()
     max_accuracy = result.max_radio_accuracy()

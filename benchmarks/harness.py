@@ -13,6 +13,7 @@ Run with ``-s`` to see the reproduced tables, e.g.::
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import platform
 import time
@@ -21,6 +22,7 @@ from pathlib import Path
 import pytest
 
 from repro import DTResourcePredictionScheme, SchemeConfig, SimulationConfig, StreamingSimulator
+from repro.scenario import compile_scenario
 
 #: Where benchmark JSON records land (one file per benchmark name).
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
@@ -66,35 +68,25 @@ def write_benchmark_json(name: str, records) -> Path:
 
 
 def fig3_simulation_config(seed: int = 2023, **overrides) -> SimulationConfig:
-    """The Fig. 3 scenario: a News-heavy population on a campus."""
-    options = dict(
-        num_users=24,
-        num_videos=100,
-        num_intervals=9,
-        interval_s=150.0,
-        favourite_category="News",
-        favourite_user_fraction=0.8,
-        favourite_boost=8.0,
-        recommendation_popularity_weight=0.3,
-        popularity_update_rate=0.05,
-        seed=seed,
-    )
-    options.update(overrides)
-    return SimulationConfig(**options)
+    """The Fig. 3 scenario: a News-heavy population on a campus.
+
+    Compiled from the canonical ``campus_fig3`` registry spec (one source of
+    truth; the registry defaults lower to the historical ``num_intervals=9``
+    capacity), then re-validated with any ``SimulationConfig`` field
+    overrides a benchmark wants.
+    """
+    config = compile_scenario("campus_fig3", {"seed": seed}).sim_config
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    return config
 
 
 def default_scheme_config(**overrides) -> SchemeConfig:
-    options = dict(
-        warmup_intervals=2,
-        cnn_epochs=6,
-        ddqn_episodes=12,
-        mc_rollouts=10,
-        min_groups=2,
-        max_groups=6,
-        seed=0,
-    )
-    options.update(overrides)
-    return SchemeConfig(**options)
+    """``campus_fig3``'s compiled scheme config, with field overrides."""
+    config = compile_scenario("campus_fig3").scheme_config
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    return config
 
 
 def build_scheme(

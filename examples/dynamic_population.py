@@ -8,6 +8,12 @@ intervals, the scheme rebuilds the multicast groups from the digital twins
 every interval, and the prediction accuracy is tracked as the population
 changes.
 
+The scripted-churn equivalent lives in the scenario registry: the
+``flash_crowd``, ``stadium_egress`` and ``commuter_rush`` scenarios express
+arrivals/departures declaratively as ``ChurnPhase``/timeline events
+(``python -m repro run commuter_rush``); this example keeps the imperative
+form to show the underlying ``add_user`` / ``remove_user`` API.
+
 Run with::
 
     python examples/dynamic_population.py

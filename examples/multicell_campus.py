@@ -1,48 +1,35 @@
 #!/usr/bin/env python3
 """Multi-cell campus: handover, per-cell multicast groups and an outage drill.
 
-A 2x2 cell grid covers the campus; users walk between buildings and hand
-over when a neighbour cell's mean SNR beats the serving cell's by the
-hysteresis margin for the time-to-trigger window.  The RAN controller scopes
-every logical multicast group to its members' serving cells (a multicast
-channel -- and the worst-member rule -- spans one cell), reports per-cell
-resource-block load on the event bus, and rebalances cell budgets.
+A thin client of the declarative scenario API: the registered
+``multicell_campus`` spec describes the whole scenario — a 2x2 cell grid
+over the campus, A3 handover, per-cell multicast group scoping, cross-cell
+budget rebalancing, and a scripted *cell-outage drill* (halfway through,
+the busiest cell's resource-block budget is driven to zero, as if the site
+lost power).  This script only applies the command-line overrides, runs the
+spec, and renders the per-interval records.
 
-The run also includes a *cell-outage drill*: halfway through, the busiest
-cell's resource-block budget is driven to zero, as if the site lost power.
-Watch the controller flag the cell as overloaded and backfill its budget
-from underloaded neighbours over the following intervals.
+Watch the controller flag the dead cell as overloaded and backfill its
+budget from underloaded neighbours over the following intervals.
 
 Run with::
 
     python examples/multicell_campus.py            # full scenario
-    python examples/multicell_campus.py --intervals 1   # CI smoke run
+    python examples/multicell_campus.py --intervals 1   # smoke run
+
+or equivalently through the CLI::
+
+    python -m repro run multicell_campus
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import Dict, List, Optional, Sequence
+import dataclasses
+import math
+from typing import Optional, Sequence
 
-import numpy as np
-
-from repro import SimulationConfig, StreamingSimulator
-
-
-def preference_grouping(sim: StreamingSimulator, num_groups: int = 4) -> Dict[int, List[int]]:
-    """Logical multicast groups by each user's favourite category."""
-    categories = tuple(sim.config.categories)
-    grouping: Dict[int, List[int]] = {}
-    for uid in sim.user_ids():
-        weights = sim.users[uid].preference.as_array(categories)
-        grouping.setdefault(int(np.argmax(weights)) % num_groups, []).append(uid)
-    # Drop empty ids while keeping deterministic ordering.
-    return {gid: members for gid, members in sorted(grouping.items()) if members}
-
-
-def busiest_cell(sim: StreamingSimulator) -> int:
-    states = sim.controller.cell_states
-    return max(states, key=lambda cid: (states[cid].served_users, -cid))
+from repro.scenario import CellOutage, ScenarioRunner, get_scenario
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -54,59 +41,52 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=17)
     args = parser.parse_args(list(argv) if argv is not None else None)
 
-    sim = StreamingSimulator(
-        SimulationConfig(
-            num_users=args.users,
-            num_videos=80,
-            num_intervals=args.intervals,
-            interval_s=300.0,
-            num_base_stations=4,
-            area_width_m=1400.0,
-            area_height_m=1100.0,
-            favourite_category="News",
-            favourite_user_fraction=0.5,
-            controller_mode="handover",
-            channel_draw_mode="fast",
-            seed=args.seed,
-        )
+    spec = get_scenario(
+        "multicell_campus",
+        {
+            "population.num_users": args.users,
+            "num_intervals": args.intervals,
+            "seed": args.seed,
+        },
     )
+    # The drill time is a timeline event, not a scalar leaf: reschedule it
+    # (or drop it when the run is too short for the drill to fire).
+    timeline = (
+        (CellOutage(interval=args.drill_interval, cell="busiest", budget_blocks=0.0),)
+        if args.drill_interval < args.intervals
+        else ()
+    )
+    spec = dataclasses.replace(spec, timeline=timeline)
+    result = ScenarioRunner(spec).run()
 
-    served = {cid: state.served_users for cid, state in sim.controller.cell_states.items()}
-    hotspot = busiest_cell(sim)
-    print(f"{args.users} users, 4 cells; initial association {served} "
-          f"(hotspot: cell {hotspot})")
+    print(f"{args.users} users, {spec.topology.num_cells} cells, seed {args.seed}; "
+          f"drill at interval {args.drill_interval}")
     print()
     print(f"{'itvl':>4s} {'HOs':>4s} {'splits':>6s} {'merges':>6s} "
           f"{'overloaded':>10s}  per-cell budget -> utilization")
 
-    dead_cell = None
-    for interval in range(args.intervals):
-        if interval == args.drill_interval:
-            dead_cell = busiest_cell(sim)
-            sim.controller.set_cell_budget(dead_cell, 0.0)
-            print(f"---- outage drill: cell {dead_cell} loses its entire RB budget ----")
-        result = sim.run_interval(preference_grouping(sim))
-        splits = sum(1 for e in result.group_scope_events if e.kind == "split")
-        merges = sum(1 for e in result.group_scope_events if e.kind == "merge")
-        overloaded = [e.cell_id for e in result.cell_load_events if e.overloaded]
+    for record, raw in zip(result.intervals, result.interval_results):
+        if record["events_applied"]:
+            print(f"---- {'; '.join(record['events_applied'])} ----")
         cells = "  ".join(
             f"c{event.cell_id}:{event.budget_blocks:5.1f}->"
-            + (f"{event.utilization:4.2f}" if np.isfinite(event.utilization) else " inf")
-            for event in result.cell_load_events
+            + (f"{event.utilization:4.2f}" if math.isfinite(event.utilization) else " inf")
+            for event in raw.cell_load_events
         )
-        print(f"{interval:>4d} {result.num_handovers:>4d} {splits:>6d} {merges:>6d} "
-              f"{str(overloaded):>10s}  {cells}")
+        print(f"{record['interval_index']:>4d} {record['num_handovers']:>4d} "
+              f"{record['group_splits']:>6d} {record['group_merges']:>6d} "
+              f"{str(record['overloaded_cells']):>10s}  {cells}")
 
     print()
-    total_handovers = int(sim.metrics.series("ran.handovers").sum()) if sim.metrics.has("ran.handovers") else 0
-    print(f"total handovers          : {total_handovers}")
-    print(f"group splits / merges    : {int(sim.metrics.series('ran.group_splits').sum())}"
-          f" / {int(sim.metrics.series('ran.group_merges').sum())}")
-    if dead_cell is not None:
-        budget = sim.controller.rb_budget_by_cell()[dead_cell]
-        print(f"dead cell {dead_cell} budget now : {budget:.1f} RBs "
-              f"(backfilled from neighbours by the load balancer)")
-    print(f"total RB budget          : {sim.controller.total_budget():.1f} "
+    print(f"total handovers          : {result.summary['total_handovers']}")
+    splits = sum(record["group_splits"] for record in result.intervals)
+    merges = sum(record["group_merges"] for record in result.intervals)
+    print(f"group splits / merges    : {splits} / {merges}")
+    final_budgets = result.intervals[-1]["rb_budget_by_cell"]
+    drilled = [label for record in result.intervals for label in record["events_applied"]]
+    if drilled:
+        print(f"applied events           : {'; '.join(drilled)}")
+    print(f"total RB budget          : {sum(final_budgets.values()):.1f} "
           f"(conserved across rebalancing)")
     return 0
 

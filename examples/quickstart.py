@@ -5,6 +5,14 @@ Builds a small campus streaming scenario, warms up the digital twins, trains
 the 1D-CNN compressor and the DDQN grouping-number selector, then predicts
 and verifies the radio / computing demand of every reservation interval.
 
+This example wires `SimulationConfig` / `StreamingSimulator` / the scheme
+by hand to show the moving parts; for day-to-day experiments prefer the
+declarative scenario API, which compiles a single spec into the same
+objects and drives the identical loop::
+
+    python -m repro scenarios                 # registered workloads
+    python -m repro run campus_fig3           # this scenario, spec-driven
+
 Run with::
 
     python examples/quickstart.py

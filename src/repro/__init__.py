@@ -15,7 +15,17 @@ The package is organised as the paper's system is:
   :class:`~repro.core.pipeline.DTResourcePredictionScheme` runs the full
   predict-then-observe loop against the simulator.
 
-Quickstart::
+Quickstart — the declarative scenario API (one spec → compile → run
+pipeline behind every entry point)::
+
+    from repro.scenario import run_scenario, scenario_names
+
+    print(scenario_names())
+    result = run_scenario("campus_fig3", {"num_intervals": 3})
+    print(f"mean radio-demand prediction accuracy: "
+          f"{result.summary['mean_radio_accuracy']:.2%}")
+
+or hand-wired against the runtime directly::
 
     from repro import DTResourcePredictionScheme, SchemeConfig, SimulationConfig, StreamingSimulator
 
@@ -35,10 +45,19 @@ from repro.core import (
     UDTFeatureCompressor,
     VideoRecommender,
 )
+from repro.scenario import (
+    RunResult,
+    ScenarioRunner,
+    ScenarioSpec,
+    compile_spec,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+)
 from repro.sim import SimulationConfig, StreamingSimulator
 from repro.twin import DigitalTwinManager, UserDigitalTwin
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DTResourcePredictionScheme",
@@ -47,11 +66,18 @@ __all__ = [
     "GroupDemandPredictor",
     "IntervalEvaluation",
     "MulticastGroupConstructor",
+    "RunResult",
+    "ScenarioRunner",
+    "ScenarioSpec",
     "SchemeConfig",
     "SimulationConfig",
     "StreamingSimulator",
     "UDTFeatureCompressor",
     "UserDigitalTwin",
     "VideoRecommender",
+    "compile_spec",
+    "get_scenario",
+    "run_scenario",
+    "scenario_names",
     "__version__",
 ]

@@ -17,6 +17,7 @@ from repro.analysis.experiments import (
     run_grouping_ablation,
     run_predictor_comparison,
     run_staleness_ablation,
+    select_news_group,
 )
 from repro.analysis.sweep import SweepPoint, SweepResult, sweep_population_sizes, sweep_scenarios
 from repro.analysis.tables import format_table
@@ -34,6 +35,7 @@ __all__ = [
     "run_grouping_ablation",
     "run_predictor_comparison",
     "run_staleness_ablation",
+    "select_news_group",
     "sweep_population_sizes",
     "sweep_scenarios",
 ]

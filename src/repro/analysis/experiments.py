@@ -1,20 +1,24 @@
-"""Reusable experiment runners.
+"""Reusable experiment runners, built on the declarative scenario API.
 
-Each runner builds the simulator and the DT-assisted prediction scheme from
-a few scenario knobs, runs the experiment and returns a small result
-dataclass.  The command-line interface and user scripts consume these; the
-benchmark harnesses keep their own copies of the scenario so the recorded
-numbers in EXPERIMENTS.md stay pinned to one configuration.
+Each runner is now a thin wrapper over the one spec → compile → run
+pipeline (:mod:`repro.scenario`): it takes the registered ``campus_fig3``
+spec, applies the experiment's overrides, executes it through
+:class:`~repro.scenario.runner.ScenarioRunner` and post-processes the
+:class:`~repro.scenario.runner.RunResult` into the small result dataclasses
+the CLI and user scripts consume.  The compiled configs are field-for-field
+identical to the hand-wired ones these runners used to build, so all
+recorded numbers are unchanged (pinned by the scenario golden tests).
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.core import DTResourcePredictionScheme, SchemeConfig
+from repro.core import SchemeConfig
 from repro.core.accuracy import mean_prediction_accuracy
 from repro.core.pipeline import EvaluationResult
 from repro.core.swiping import GroupSwipingProfile
@@ -27,39 +31,31 @@ from repro.predict import (
     PerUserDemandPredictor,
     SeriesPredictor,
 )
-from repro.sim import SimulationConfig, StreamingSimulator
+from repro.scenario import ScenarioRunner, ScenarioSpec, compile_spec, get_scenario
+from repro.scenario.runner import RunResult
 from repro.twin.collector import CollectionPolicy
 
 
-def _default_sim_config(seed: int, num_intervals: int, **overrides) -> SimulationConfig:
-    options = dict(
-        num_users=24,
-        num_videos=100,
-        num_intervals=num_intervals,
-        interval_s=150.0,
-        favourite_category="News",
-        favourite_user_fraction=0.8,
-        favourite_boost=8.0,
-        recommendation_popularity_weight=0.3,
-        popularity_update_rate=0.05,
-        seed=seed,
-    )
+def _fig3_spec(seed: int, num_eval_intervals: int, **overrides) -> ScenarioSpec:
+    """The ``campus_fig3`` registry spec, re-targeted for one experiment.
+
+    ``overrides`` are dotted spec paths (``"population.num_users"``); the
+    ablations run with ``spare_intervals=0`` and lighter scheme knobs, which
+    they pass the same way.
+    """
+    options = {"seed": seed, "num_intervals": num_eval_intervals}
     options.update(overrides)
-    return SimulationConfig(**options)
+    return get_scenario("campus_fig3", options)
 
 
-def _default_scheme_config(seed: int = 0, **overrides) -> SchemeConfig:
-    options = dict(
-        warmup_intervals=2,
-        cnn_epochs=6,
-        ddqn_episodes=12,
-        mc_rollouts=10,
-        min_groups=2,
-        max_groups=6,
-        seed=seed,
-    )
-    options.update(overrides)
-    return SchemeConfig(**options)
+def _run_spec(
+    spec: ScenarioSpec, scheme_config: Optional[SchemeConfig] = None
+) -> RunResult:
+    """Compile and run ``spec``, optionally swapping in a full scheme config."""
+    compiled = compile_spec(spec)
+    if scheme_config is not None:
+        compiled = dataclasses.replace(compiled, scheme_config=scheme_config)
+    return ScenarioRunner(compiled).run()
 
 
 # ------------------------------------------------------------------ Fig. 3 scenario
@@ -76,19 +72,57 @@ class Fig3Result:
     def cumulative_swiping(self) -> Dict[str, float]:
         return dict(self.news_group_profile.cumulative_swiping)
 
+    def to_dict(self) -> dict:
+        """JSON-canonical export sharing ``EvaluationResult.to_dict``'s shape.
+
+        ``evaluation`` is exactly the unified per-interval/summary payload
+        (the same shape ``RunResult`` embeds); the Fig. 3(a) panel rides
+        along under ``news_group_profile``.
+        """
+        profile = self.news_group_profile
+        return {
+            "evaluation": self.evaluation.to_dict(),
+            "news_group_profile": {
+                "group_id": int(profile.group_id),
+                "member_ids": [int(uid) for uid in profile.member_ids],
+                "cumulative_swiping": {
+                    category: float(value)
+                    for category, value in profile.cumulative_swiping.items()
+                },
+                "engagement_share": {
+                    category: float(value)
+                    for category, value in profile.engagement_share.items()
+                },
+                "swipe_probability": {
+                    category: float(value)
+                    for category, value in profile.swipe_probability.items()
+                },
+            },
+        }
+
     def demand_rows(self) -> List[List]:
-        rows = []
-        for evaluation in self.evaluation.intervals:
-            rows.append(
-                [
-                    evaluation.interval_index,
-                    evaluation.grouping.num_groups,
-                    round(evaluation.predicted_radio_blocks, 2),
-                    round(evaluation.actual_radio_blocks, 2),
-                    round(evaluation.radio_accuracy, 4),
-                ]
-            )
-        return rows
+        """Fig. 3(b) table rows, derived from the unified per-interval records."""
+        return [
+            [
+                record["interval_index"],
+                record["num_groups"],
+                round(record["predicted_radio_blocks"], 2),
+                round(record["actual_radio_blocks"], 2),
+                round(record["radio_accuracy"], 4),
+            ]
+            for record in (e.to_dict() for e in self.evaluation.intervals)
+        ]
+
+
+def select_news_group(profiles: Dict[int, GroupSwipingProfile]) -> int:
+    """The paper's "multicast group 1": the largest News-dominated group."""
+    news_groups = [
+        gid
+        for gid, profile in profiles.items()
+        if profile.most_watched_category() == "News"
+    ]
+    candidates = news_groups if news_groups else list(profiles)
+    return max(candidates, key=lambda gid: len(profiles[gid].member_ids))
 
 
 def run_fig3_experiment(
@@ -109,29 +143,21 @@ def run_fig3_experiment(
     mode — ``"grouped"`` when ``playback_workers > 1``, else the historical
     ``"compat"`` (see :class:`repro.sim.config.SimulationConfig`).
     """
-    sim_config = _default_sim_config(
+    spec = _fig3_spec(
         seed,
-        num_eval_intervals + 3,
-        num_users=num_users,
-        interval_s=interval_s,
-        channel_draw_mode=channel_draw_mode,
-        playback_workers=playback_workers,
+        num_eval_intervals,
+        **{
+            "interval_s": interval_s,
+            "population.num_users": num_users,
+            "engine.channel_draw_mode": channel_draw_mode,
+            "engine.playback_workers": playback_workers,
+        },
     )
-    with DTResourcePredictionScheme(
-        StreamingSimulator(sim_config),
-        scheme_config if scheme_config is not None else _default_scheme_config(),
-    ) as scheme:
-        result = scheme.run(num_intervals=num_eval_intervals)
+    run = _run_spec(spec, scheme_config)
+    result = run.evaluation
 
     last = result.intervals[-1]
-    news_groups = [
-        gid
-        for gid, profile in last.profiles.items()
-        if profile.most_watched_category() == "News"
-    ]
-    candidates = news_groups if news_groups else list(last.profiles)
-    group_id = max(candidates, key=lambda gid: len(last.profiles[gid].member_ids))
-
+    group_id = select_news_group(last.profiles)
     return Fig3Result(
         evaluation=result,
         news_group_profile=last.profiles[group_id],
@@ -161,14 +187,17 @@ def run_grouping_ablation(
     plans = [("ddqn", None), ("silhouette", None)] + [("fixed", k) for k in fixed_ks]
     rows: List[GroupingAblationRow] = []
     for k_strategy, fixed_k in plans:
-        sim_config = _default_sim_config(seed, num_eval_intervals + 2)
-        scheme = DTResourcePredictionScheme(
-            StreamingSimulator(sim_config),
-            _default_scheme_config(mc_rollouts=8),
-            k_strategy=k_strategy,
+        spec = _fig3_spec(
+            seed,
+            num_eval_intervals,
+            **{
+                "spare_intervals": 0,
+                "scheme.mc_rollouts": 8,
+                "scheme.k_strategy": k_strategy,
+                "scheme.fixed_k": fixed_k,
+            },
         )
-        scheme.fixed_k = fixed_k
-        result = scheme.run(num_intervals=num_eval_intervals)
+        result = ScenarioRunner(spec).run().evaluation
         label = k_strategy if fixed_k is None else f"fixed (K={fixed_k})"
         rows.append(
             GroupingAblationRow(
@@ -209,13 +238,19 @@ def run_staleness_ablation(
     for label, policy in policies.items():
         accuracies = []
         for seed in seeds:
-            sim_config = _default_sim_config(
-                seed, num_eval_intervals + 2, collection_policy=policy
+            spec = _fig3_spec(
+                seed,
+                num_eval_intervals,
+                **{
+                    "spare_intervals": 0,
+                    "scheme.mc_rollouts": 8,
+                    "engine.collection_period_multiplier": policy.period_multiplier,
+                    "engine.collection_drop_probability": policy.drop_probability,
+                    "engine.collection_delay_s": policy.delay_s,
+                },
             )
-            scheme = DTResourcePredictionScheme(
-                StreamingSimulator(sim_config), _default_scheme_config(mc_rollouts=8)
-            )
-            accuracies.append(scheme.run(num_intervals=num_eval_intervals).mean_radio_accuracy())
+            result = ScenarioRunner(spec).run().evaluation
+            accuracies.append(result.mean_radio_accuracy())
         rows.append(
             StalenessAblationRow(
                 label=label,
@@ -264,11 +299,13 @@ def run_predictor_comparison(
             ARPredictor(order=2),
         ]
     )
-    sim_config = _default_sim_config(seed, num_eval_intervals + 2)
-    scheme = DTResourcePredictionScheme(
-        StreamingSimulator(sim_config), _default_scheme_config(mc_rollouts=10)
+    spec = _fig3_spec(
+        seed,
+        num_eval_intervals,
+        **{"spare_intervals": 0, "scheme.mc_rollouts": 10},
     )
-    result = scheme.run(num_intervals=num_eval_intervals)
+    run = ScenarioRunner(spec).run()
+    result = run.evaluation
     actual = result.actual_radio_series()
 
     comparison = PredictorComparisonResult()
@@ -285,7 +322,7 @@ def run_predictor_comparison(
             )
         )
 
-    simulator = scheme.simulator
+    simulator = run.simulator
     per_user = PerUserDemandPredictor(
         simulator.catalog,
         interval_s=simulator.config.interval_s,

@@ -3,12 +3,19 @@
 Exposes the reproduction's experiments as subcommands so downstream users
 can rerun them (and sweep their parameters) without writing Python::
 
+    python -m repro scenarios                    # list the scenario registry
+    python -m repro run multicell_campus         # run a named scenario
+    python -m repro run campus_fig3 --intervals 3 --override population.num_users=40
     python -m repro fig3 --users 30 --intervals 8
     python -m repro grouping-ablation
     python -m repro staleness-ablation
     python -m repro predictors
     python -m repro dataset --output challenge.json --users 40 --videos 150
 
+``run`` and ``scenarios`` sit on the declarative scenario API
+(:mod:`repro.scenario`): a registered :class:`~repro.scenario.spec.ScenarioSpec`
+is compiled and executed, ``--override section.field=value`` rewrites any
+spec leaf, and ``--json`` emits the scenario's JSON-canonical ``RunResult``.
 Every subcommand prints a plain-text table and returns exit code 0 on
 success.
 """
@@ -16,8 +23,9 @@ success.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis import (
     format_table,
@@ -27,6 +35,7 @@ from repro.analysis import (
     run_staleness_ablation,
 )
 from repro.dataset import ChallengeDatasetConfig, ChallengeDatasetGenerator, save_dataset
+from repro.scenario import ScenarioRunner, get_scenario, scenario_names
 
 
 def _add_fig3_parser(subparsers) -> None:
@@ -62,6 +71,57 @@ def _add_fig3_parser(subparsers) -> None:
             "single-worker run for the same seed)"
         ),
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the unified Fig3Result.to_dict() JSON to PATH ('-' for stdout)",
+    )
+
+
+def _add_run_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "run",
+        help="compile and run a registered scenario (see 'repro scenarios')",
+        description=(
+            "Compile a registered ScenarioSpec and drive it through the "
+            "scenario runner.  Overrides rewrite any spec leaf by dotted "
+            "path, e.g. --override population.num_users=100 "
+            "--override engine.playback_workers=4"
+        ),
+    )
+    parser.add_argument("scenario", help="registered scenario name")
+    parser.add_argument(
+        "--override",
+        action="append",
+        default=[],
+        metavar="PATH=VALUE",
+        help="spec override (repeatable); VALUE is parsed as JSON, else a string",
+    )
+    parser.add_argument(
+        "--intervals",
+        type=int,
+        default=None,
+        help="shorthand for --override num_intervals=N",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="shorthand for --override seed=N"
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the RunResult JSON to PATH ('-' writes it to stdout, tables suppressed)",
+    )
+
+
+def _add_scenarios_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "scenarios", help="list the registered scenarios and their shapes"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the registry as JSON on stdout"
+    )
 
 
 def _add_simple_parser(subparsers, name: str, help_text: str) -> None:
@@ -90,12 +150,145 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_run_parser(subparsers)
+    _add_scenarios_parser(subparsers)
     _add_fig3_parser(subparsers)
     _add_simple_parser(subparsers, "grouping-ablation", "DDQN-K vs silhouette vs fixed-K grouping")
     _add_simple_parser(subparsers, "staleness-ablation", "accuracy vs digital-twin staleness")
     _add_simple_parser(subparsers, "predictors", "DT scheme vs history-only / per-user baselines")
     _add_dataset_parser(subparsers)
     return parser
+
+
+# --------------------------------------------------------------- scenario API
+def parse_overrides(pairs: Sequence[str]) -> Dict[str, Any]:
+    """``PATH=VALUE`` strings → override mapping (values parsed as JSON)."""
+    overrides: Dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ValueError(f"override {pair!r} is not of the form PATH=VALUE")
+        path, raw = pair.split("=", 1)
+        try:
+            value = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw
+        overrides[path.strip()] = value
+    return overrides
+
+
+def _emit_json(payload: dict, destination: Optional[str]) -> None:
+    if destination is None:
+        return
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if destination == "-":
+        print(text)
+    else:
+        with open(destination, "w") as handle:
+            handle.write(text + "\n")
+
+
+def _run_scenario_command(args: argparse.Namespace) -> int:
+    try:
+        overrides = parse_overrides(args.override)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.intervals is not None:
+        overrides["num_intervals"] = args.intervals
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    try:
+        spec = get_scenario(args.scenario, overrides)
+    except (KeyError, ValueError, TypeError) as error:
+        # Unknown scenario names, unknown override paths and bad override
+        # values are routine user errors: one line, not a traceback.  The
+        # run itself stays outside this handler, so genuine runtime defects
+        # still surface with a full stack trace.
+        message = error.args[0] if error.args else error
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    result = ScenarioRunner(spec).run()
+    _emit_json(result.to_dict(), args.json)
+    if args.json == "-":
+        return 0
+
+    print(f"scenario {result.scenario} ({result.mode} mode, seed {result.seed}): "
+          f"{result.num_intervals} intervals in {result.elapsed_s:.2f}s")
+    if result.mode == "scheme":
+        headers = ["interval", "users", "groups", "predicted RBs", "actual RBs", "accuracy"]
+        rows = [
+            [
+                record["interval_index"],
+                record["num_users"],
+                record["num_groups"],
+                round(record["predicted_radio_blocks"], 2),
+                round(record["actual_radio_blocks"], 2),
+                round(record["radio_accuracy"], 4),
+            ]
+            for record in result.intervals
+        ]
+    else:
+        headers = ["interval", "users", "groups", "actual RBs", "handovers", "events"]
+        rows = [
+            [
+                record["interval_index"],
+                record["num_users"],
+                record["num_groups"],
+                round(record["actual_radio_blocks"], 2),
+                record.get("num_handovers", 0),
+                "; ".join(record["events_applied"]) or "-",
+            ]
+            for record in result.intervals
+        ]
+    print(format_table(headers, rows))
+    if result.summary:
+        print()
+        for key in sorted(result.summary):
+            value = result.summary[key]
+            if isinstance(value, float):
+                print(f"{key:<28s}: {value:.4f}")
+            elif not isinstance(value, dict):
+                print(f"{key:<28s}: {value}")
+    return 0
+
+
+def _scenarios_command(args: argparse.Namespace) -> int:
+    entries = []
+    for name in scenario_names():
+        spec = get_scenario(name)
+        entries.append(
+            {
+                "name": name,
+                "mode": spec.mode,
+                "num_users": spec.population.num_users,
+                "num_cells": spec.topology.num_cells,
+                "num_intervals": spec.num_intervals,
+                "controller": spec.controller.mode,
+                "timeline_events": len(spec.timeline),
+                "description": spec.description,
+            }
+        )
+    if args.json:
+        print(json.dumps({"scenarios": entries}, indent=2, sort_keys=True))
+        return 0
+    print(
+        format_table(
+            ["name", "mode", "users", "cells", "intervals", "events", "description"],
+            [
+                [
+                    entry["name"],
+                    entry["mode"],
+                    entry["num_users"],
+                    entry["num_cells"],
+                    entry["num_intervals"],
+                    entry["timeline_events"],
+                    entry["description"],
+                ]
+                for entry in entries
+            ],
+        )
+    )
+    return 0
 
 
 # ------------------------------------------------------------------ subcommands
@@ -108,6 +301,9 @@ def _run_fig3(args: argparse.Namespace) -> int:
         channel_draw_mode=args.channel_draw_mode,
         playback_workers=args.playback_workers,
     )
+    _emit_json(result.to_dict(), args.json)
+    if args.json == "-":
+        return 0
     profile = result.news_group_profile
     print(f"Fig. 3(a) — cumulative swiping probability (group {profile.group_id}, "
           f"{len(profile.member_ids)} members)")
@@ -205,6 +401,8 @@ def _run_dataset(args: argparse.Namespace) -> int:
 
 
 _COMMANDS = {
+    "run": _run_scenario_command,
+    "scenarios": _scenarios_command,
     "fig3": _run_fig3,
     "grouping-ablation": _run_grouping,
     "staleness-ablation": _run_staleness,

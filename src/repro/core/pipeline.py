@@ -79,6 +79,40 @@ class IntervalEvaluation:
             for cell_id in sorted(cells)
         }
 
+    def to_dict(self) -> dict:
+        """JSON-canonical export of this interval's prediction-vs-actual record.
+
+        The one per-interval shape every exporter shares:
+        :meth:`EvaluationResult.to_dict`, the analysis runners'
+        ``Fig3Result.to_dict`` / ``demand_rows`` and the scenario runner's
+        ``RunResult`` all consume it, so a record written by any entry point
+        compares equal to the same interval written by any other.  Mapping
+        keys are strings and every value a plain Python scalar/container, so
+        ``json.loads(json.dumps(d)) == d`` holds.
+        """
+        return {
+            "interval_index": int(self.interval_index),
+            "num_groups": int(self.grouping.num_groups),
+            "group_sizes": {
+                str(gid): int(size)
+                for gid, size in sorted(self.grouping.group_sizes().items())
+            },
+            "predicted_radio_blocks": float(self.predicted_radio_blocks),
+            "actual_radio_blocks": float(self.actual_radio_blocks),
+            "radio_accuracy": float(self.radio_accuracy),
+            "predicted_computing_cycles": float(self.predicted_computing_cycles),
+            "actual_computing_cycles": float(self.actual_computing_cycles),
+            "computing_accuracy": float(self.computing_accuracy),
+            "predicted_radio_by_cell": {
+                str(cell): float(value)
+                for cell, value in sorted(self.predicted_radio_by_cell.items())
+            },
+            "actual_radio_by_cell": {
+                str(cell): float(value)
+                for cell, value in sorted(self.actual_radio_by_cell.items())
+            },
+        }
+
 
 @dataclass
 class EvaluationResult:
@@ -91,30 +125,23 @@ class EvaluationResult:
         return len(self.intervals)
 
     def to_dict(self) -> dict:
-        """Plain-dictionary export (per-interval series plus summary) for JSON dumps."""
+        """Plain-dictionary export (per-interval series plus summary) for JSON dumps.
+
+        Per-interval records are exactly :meth:`IntervalEvaluation.to_dict`
+        and the whole payload is JSON-canonical (string mapping keys, plain
+        scalars): ``json.loads(json.dumps(d)) == d``.
+        """
         return {
-            "intervals": [
-                {
-                    "interval_index": e.interval_index,
-                    "num_groups": e.grouping.num_groups,
-                    "group_sizes": e.grouping.group_sizes(),
-                    "predicted_radio_blocks": e.predicted_radio_blocks,
-                    "actual_radio_blocks": e.actual_radio_blocks,
-                    "radio_accuracy": e.radio_accuracy,
-                    "predicted_computing_cycles": e.predicted_computing_cycles,
-                    "actual_computing_cycles": e.actual_computing_cycles,
-                    "computing_accuracy": e.computing_accuracy,
-                    "predicted_radio_by_cell": dict(e.predicted_radio_by_cell),
-                    "actual_radio_by_cell": dict(e.actual_radio_by_cell),
-                }
-                for e in self.intervals
-            ],
+            "intervals": [e.to_dict() for e in self.intervals],
             "summary": (
                 {
-                    "mean_radio_accuracy": self.mean_radio_accuracy(),
-                    "max_radio_accuracy": self.max_radio_accuracy(),
-                    "mean_computing_accuracy": self.mean_computing_accuracy(),
-                    "mean_radio_accuracy_by_cell": self.mean_radio_accuracy_by_cell(),
+                    "mean_radio_accuracy": float(self.mean_radio_accuracy()),
+                    "max_radio_accuracy": float(self.max_radio_accuracy()),
+                    "mean_computing_accuracy": float(self.mean_computing_accuracy()),
+                    "mean_radio_accuracy_by_cell": {
+                        str(cell): float(value)
+                        for cell, value in sorted(self.mean_radio_accuracy_by_cell().items())
+                    },
                 }
                 if self.intervals
                 else {}

@@ -157,6 +157,11 @@ class RanController:
         self.group_event_log: List[GroupScopeEvent] = []
         self.load_event_log: List[CellLoadEvent] = []
         self._group_cells: Dict[int, FrozenSet[int]] = {}
+        #: Cells flagged overloaded by the most recent load report, captured
+        #: *before* budget rebalancing (which by construction pulls a cell
+        #: back to the threshold whenever donors suffice — measuring after
+        #: it would hide exactly the overloads the bias should react to).
+        self._last_overloaded: FrozenSet[int] = frozenset()
         #: Per-user A3 streaks carried across intervals, keyed *by user id*
         #: (not by position): the population churns via attach/detach, and a
         #: positional carry would silently apply one user's candidate/TTT
@@ -188,6 +193,32 @@ class RanController:
     def users_of_cell(self, cell_id: int) -> List[int]:
         return sorted(uid for uid, cid in self.serving_cell.items() if cid == cell_id)
 
+    def cell_bias_db(self) -> Optional[np.ndarray]:
+        """Load-aware handover bias per cell (``None`` when disabled).
+
+        Every cell whose utilization (as of the most recent load report, or
+        an operator budget override such as an outage drill) exceeds the
+        overload threshold is discounted by ``handover.load_bias_db``:
+        candidates on it need that much extra genuine margin, and its own
+        users leave it that much more readily.  With the default
+        ``load_bias_db == 0`` this returns ``None`` and the pure-SNR
+        decision sequence is preserved bit-for-bit.
+        """
+        bias_db = self.config.handover.load_bias_db
+        if bias_db <= 0:
+            return None
+        bias = np.zeros(len(self.cell_ids))
+        for index, cell_id in enumerate(self.cell_ids):
+            # Overloaded in the last (pre-rebalance) load report, or over the
+            # threshold right now (e.g. an operator outage drill between
+            # intervals drove the budget to zero under live demand).
+            if (
+                cell_id in self._last_overloaded
+                or self.cell_states[cell_id].utilization > self.config.overload_threshold
+            ):
+                bias[index] = -bias_db
+        return bias
+
     # -------------------------------------------------------------- handover
     def observe_interval(
         self,
@@ -214,7 +245,12 @@ class RanController:
             # churn between intervals (attach/detach) never shifts one
             # user's streak onto another's measurement column.
             decisions, _, self._streaks = self.policy.evaluate(
-                times_s, snr, serving_index, state=self._streaks, user_ids=user_ids
+                times_s,
+                snr,
+                serving_index,
+                state=self._streaks,
+                user_ids=user_ids,
+                cell_bias_db=self.cell_bias_db(),
             )
             for decision in decisions:
                 event = HandoverEvent(
@@ -390,6 +426,9 @@ class RanController:
                 ),
             )
         self.events.run_until(time_s)
+        self._last_overloaded = frozenset(
+            event.cell_id for event in fired if event.overloaded
+        )
         self._rebalance_budgets()
         return fired, utilization
 

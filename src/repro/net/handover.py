@@ -36,11 +36,21 @@ class HandoverConfig:
     ``hysteresis_db`` is the margin a neighbour must hold over the serving
     cell, ``time_to_trigger_s`` how long the margin must hold continuously,
     and ``sample_period_s`` the measurement period within an interval.
+
+    ``load_bias_db`` makes the rule load-aware: callers pass a per-cell
+    bias vector into :meth:`HandoverPolicy.evaluate` (the controller derives
+    it as ``-load_bias_db`` for every overloaded cell), and the rule runs on
+    the biased measurements.  An overloaded candidate therefore needs an
+    extra ``load_bias_db`` of genuine margin to attract a handover, while
+    users camped on an overloaded cell leave it that much more readily.  The
+    default ``0.0`` disables the bias entirely and preserves the pure-SNR
+    decision sequence bit-for-bit.
     """
 
     hysteresis_db: float = 3.0
     time_to_trigger_s: float = 10.0
     sample_period_s: float = 5.0
+    load_bias_db: float = 0.0
 
     def __post_init__(self) -> None:
         if self.hysteresis_db < 0:
@@ -49,6 +59,8 @@ class HandoverConfig:
             raise ValueError("time_to_trigger_s must be non-negative")
         if self.sample_period_s <= 0:
             raise ValueError("sample_period_s must be positive")
+        if self.load_bias_db < 0:
+            raise ValueError("load_bias_db must be non-negative")
 
 
 @dataclass
@@ -207,6 +219,7 @@ class HandoverPolicy:
         serving_index: Sequence[int],
         state: "StreakState | None" = None,
         user_ids: "Sequence[int] | None" = None,
+        cell_bias_db: "Sequence[float] | None" = None,
     ) -> Tuple[List[HandoverDecision], np.ndarray, StreakState]:
         """Walk the measurement samples and trigger handovers.
 
@@ -230,6 +243,14 @@ class HandoverPolicy:
             join and leave between batches.  Without it, ``state`` is
             applied positionally and must describe the exact same user
             array as this batch.
+        cell_bias_db:
+            Optional per-cell additive bias, shape ``(C,)``, applied to the
+            whole measurement tensor before the rule runs (load-aware
+            handover: an overloaded cell carries a negative bias, so joining
+            it needs extra genuine margin and leaving it needs less).  The
+            reported ``margin_db`` of each decision is the *effective*
+            (biased) margin that triggered it.  ``None`` keeps the pure-SNR
+            rule bit-for-bit.
 
         Returns ``(decisions, final_serving_index, state)``.  Decisions are
         ordered by (time, user index); a user can hand over more than once
@@ -244,6 +265,12 @@ class HandoverPolicy:
             raise ValueError("snr_db must have shape (times, users, cells)")
         if times.shape[0] != snr.shape[0] or serving.shape[0] != snr.shape[1]:
             raise ValueError("times_s, snr_db and serving_index shapes disagree")
+        if cell_bias_db is not None:
+            bias = np.asarray(cell_bias_db, dtype=np.float64)
+            if bias.shape != (snr.shape[2],):
+                raise ValueError("cell_bias_db must have one entry per cell")
+            if np.any(bias):
+                snr = snr + bias[None, None, :]
         num_users = serving.shape[0]
         ids = None if user_ids is None else np.asarray(user_ids, dtype=int)
         if ids is not None:

@@ -1,0 +1,105 @@
+"""Deterministic lowering of a :class:`ScenarioSpec` to runtime configs.
+
+:func:`compile_spec` is a *pure function*: it touches no global state,
+draws no randomness, and two calls with equal specs return equal
+:class:`CompiledScenario` values (field-for-field equal configs).  That
+purity is what makes scenario runs reproducible from the spec alone, and
+it is pinned by the compile-determinism tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import SchemeConfig
+from repro.scenario.spec import ScenarioSpec
+from repro.sim.config import SimulationConfig
+from repro.twin.collector import CollectionPolicy
+
+
+@dataclass(frozen=True)
+class CompiledScenario:
+    """A spec lowered to the configs the runtime consumes.
+
+    ``sim_config`` fully describes the ground-truth simulator;
+    ``scheme_config`` is ``None`` for playback-mode scenarios.  The source
+    ``spec`` rides along because the runner still needs its runtime-only
+    parts (timeline, churn phases, grouping policy).
+    """
+
+    spec: ScenarioSpec
+    sim_config: SimulationConfig
+    scheme_config: Optional[SchemeConfig]
+
+    @property
+    def mode(self) -> str:
+        return self.spec.mode
+
+
+def compile_spec(spec: ScenarioSpec) -> CompiledScenario:
+    """Lower ``spec`` to ``SimulationConfig`` (+ ``SchemeConfig``), purely.
+
+    The compiled ``num_intervals`` is the simulator's *capacity*: evaluated
+    intervals plus scheme warm-up plus the spec's ``spare_intervals``
+    (capacity never changes results — no random draw depends on it — but
+    keeping it spec-derived makes the compiled config equal the historical
+    hand-wired ones field-for-field).
+    """
+    warmup = spec.scheme.warmup_intervals if spec.mode == "scheme" else 0
+    sim_config = SimulationConfig(
+        num_users=spec.population.num_users,
+        num_videos=spec.catalog.num_videos,
+        categories=tuple(spec.catalog.categories),
+        zipf_exponent=spec.catalog.zipf_exponent,
+        preference_concentration=spec.population.preference_concentration,
+        favourite_category=spec.population.favourite_category,
+        favourite_user_fraction=spec.population.favourite_user_fraction,
+        favourite_boost=spec.population.favourite_boost,
+        preference_learning_rate=spec.population.preference_learning_rate,
+        num_intervals=spec.num_intervals + warmup + spec.spare_intervals,
+        interval_s=spec.interval_s,
+        area_width_m=spec.topology.area_width_m,
+        area_height_m=spec.topology.area_height_m,
+        num_buildings=spec.mobility.num_buildings,
+        num_base_stations=spec.topology.num_cells,
+        tx_power_dbm=spec.topology.tx_power_dbm,
+        rb_bandwidth_hz=spec.topology.rb_bandwidth_hz,
+        num_resource_blocks=spec.topology.rb_budget_blocks,
+        stream_bandwidth_hz=spec.topology.stream_bandwidth_hz,
+        implementation_loss=spec.topology.implementation_loss,
+        channel_sample_period_s=spec.topology.channel_sample_period_s,
+        channel_draw_mode=spec.engine.channel_draw_mode,
+        playback_workers=spec.engine.playback_workers,
+        controller_mode=spec.controller.mode,
+        handover_hysteresis_db=spec.controller.handover_hysteresis_db,
+        handover_time_to_trigger_s=spec.controller.handover_time_to_trigger_s,
+        handover_sample_period_s=spec.controller.handover_sample_period_s,
+        handover_load_bias_db=spec.controller.handover_load_bias_db,
+        cell_overload_threshold=spec.controller.cell_overload_threshold,
+        cell_underload_threshold=spec.controller.cell_underload_threshold,
+        cell_rebalance_fraction=spec.controller.cell_rebalance_fraction,
+        recommendation_popularity_weight=spec.catalog.recommendation_popularity_weight,
+        popularity_update_rate=spec.catalog.popularity_update_rate,
+        swipe_gap_s=spec.catalog.swipe_gap_s,
+        collection_policy=CollectionPolicy(
+            period_multiplier=spec.engine.collection_period_multiplier,
+            drop_probability=spec.engine.collection_drop_probability,
+            delay_s=spec.engine.collection_delay_s,
+        ),
+        feature_steps=spec.engine.feature_steps,
+        seed=spec.seed,
+    )
+    scheme_config: Optional[SchemeConfig] = None
+    if spec.mode == "scheme":
+        scheme_config = SchemeConfig(
+            warmup_intervals=spec.scheme.warmup_intervals,
+            cnn_epochs=spec.scheme.cnn_epochs,
+            ddqn_episodes=spec.scheme.ddqn_episodes,
+            mc_rollouts=spec.scheme.mc_rollouts,
+            min_groups=spec.scheme.min_groups,
+            max_groups=spec.scheme.max_groups,
+            feature_steps=spec.engine.feature_steps,
+            seed=spec.scheme.seed,
+        )
+    return CompiledScenario(spec=spec, sim_config=sim_config, scheme_config=scheme_config)

@@ -1,0 +1,364 @@
+"""Scenario execution: compiled spec → :class:`RunResult`.
+
+:class:`ScenarioRunner` drives a compiled scenario end to end.  Scheme-mode
+scenarios run the DT-assisted predict-then-observe loop
+(:class:`~repro.core.pipeline.DTResourcePredictionScheme`); playback-mode
+scenarios play raw ground-truth intervals under the spec's grouping policy.
+Either way the runner applies the spec's timeline events and churn phases
+at the start of each run step, and returns a typed, JSON-serializable
+:class:`RunResult` carrying per-interval records, per-cell series, the
+accuracy summary (scheme mode) and wall-clock timing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core import DTResourcePredictionScheme
+from repro.core.pipeline import EvaluationResult
+from repro.scenario.compiler import CompiledScenario, compile_spec
+from repro.scenario.spec import (
+    BudgetChange,
+    CellOutage,
+    FlashCrowd,
+    MassDeparture,
+    ScenarioEvent,
+    ScenarioSpec,
+)
+from repro.sim import StreamingSimulator
+from repro.sim.rng import derive_stream
+from repro.sim.simulator import IntervalResult, singleton_grouping
+
+#: Purpose tag of the scenario runner's churn streams.  Appended as the
+#: *last* key word — ``(seed, step, tag)`` — like every other purpose tag in
+#: :mod:`repro.sim.rng`, so equal-length keys (e.g. the per-user preference
+#: streams ``(seed, user_id, PREFERENCE_STREAM)``) can never collide with
+#: it: the tag value is distinct from every registry stream tag.
+SCENARIO_CHURN_STREAM = 101
+
+#: Departures never shrink the population below this floor, so groupings
+#: (which need at least one non-empty group) always remain constructible.
+MIN_POPULATION = 2
+
+
+@dataclass
+class RunResult:
+    """Typed outcome of one scenario run.
+
+    ``intervals`` holds one JSON-canonical record per run step: the unified
+    :meth:`~repro.core.pipeline.IntervalEvaluation.to_dict` shape in scheme
+    mode, a ground-truth subset of the same keys in playback mode, both
+    extended with population/controller fields (``num_users``, ``arrivals``,
+    ``departures``, ``num_handovers``, ``rb_utilization_by_cell``, ...).
+    ``evaluation`` carries the full in-memory
+    :class:`~repro.core.pipeline.EvaluationResult` (scheme mode only) and
+    ``interval_results`` the raw simulator records — both for Python
+    consumers; neither is exported by :meth:`to_dict`.
+    """
+
+    scenario: str
+    mode: str
+    seed: int
+    num_intervals: int
+    elapsed_s: float
+    intervals: List[dict] = field(default_factory=list)
+    summary: Dict[str, object] = field(default_factory=dict)
+    per_cell: Dict[str, Dict[str, List[float]]] = field(default_factory=dict)
+    spec: Optional[dict] = None
+    evaluation: Optional[EvaluationResult] = None
+    interval_results: Optional[List[IntervalResult]] = None
+    #: The simulator the run used (worker pool already closed; its twins,
+    #: catalog and metrics stay readable).  Python-side only, not exported.
+    simulator: Optional["StreamingSimulator"] = None
+
+    def to_dict(self) -> dict:
+        """JSON-canonical export: ``json.loads(json.dumps(d)) == d``."""
+        return {
+            "scenario": self.scenario,
+            "mode": self.mode,
+            "seed": int(self.seed),
+            "num_intervals": int(self.num_intervals),
+            "elapsed_s": float(self.elapsed_s),
+            "elapsed_per_interval_s": float(self.elapsed_s) / max(self.num_intervals, 1),
+            "intervals": list(self.intervals),
+            "summary": dict(self.summary),
+            "per_cell": {key: dict(series) for key, series in self.per_cell.items()},
+            "spec": self.spec,
+        }
+
+
+class ScenarioRunner:
+    """Executes one compiled scenario and collects its :class:`RunResult`."""
+
+    def __init__(self, scenario: Union[ScenarioSpec, CompiledScenario]) -> None:
+        self.compiled = (
+            scenario if isinstance(scenario, CompiledScenario) else compile_spec(scenario)
+        )
+        self.spec = self.compiled.spec
+
+    # ---------------------------------------------------------------- driving
+    def run(self) -> RunResult:
+        spec = self.spec
+        started = time.perf_counter()
+        simulator = StreamingSimulator(self.compiled.sim_config)
+        records: List[dict] = []
+        evaluation: Optional[EvaluationResult] = None
+        raw_results: List[IntervalResult] = []
+        with simulator:
+            if spec.mode == "scheme":
+                scheme = DTResourcePredictionScheme(
+                    simulator,
+                    self.compiled.scheme_config,
+                    k_strategy=spec.scheme.k_strategy,
+                )
+                scheme.fixed_k = spec.scheme.fixed_k
+                scheme.warm_up()
+                evaluation = EvaluationResult()
+                for step in range(spec.num_intervals):
+                    arrivals, departures, applied = self._apply_step_script(simulator, step)
+                    interval_eval = scheme.step()
+                    evaluation.intervals.append(interval_eval)
+                    raw_results.append(interval_eval.actual)
+                    record = interval_eval.to_dict()
+                    record.update(
+                        self._ground_truth_fields(
+                            simulator, interval_eval.actual, arrivals, departures, applied
+                        )
+                    )
+                    records.append(record)
+            else:
+                for step in range(spec.num_intervals):
+                    arrivals, departures, applied = self._apply_step_script(simulator, step)
+                    grouping = self._build_grouping(simulator)
+                    result = simulator.run_interval(grouping)
+                    raw_results.append(result)
+                    record = {
+                        "interval_index": int(result.interval_index),
+                        "num_groups": len(result.usage_by_group),
+                        "actual_radio_blocks": float(result.total_resource_blocks),
+                        "actual_computing_cycles": float(result.total_computing_cycles),
+                    }
+                    record.update(
+                        self._ground_truth_fields(
+                            simulator, result, arrivals, departures, applied
+                        )
+                    )
+                    records.append(record)
+        elapsed = time.perf_counter() - started
+
+        run_result = RunResult(
+            scenario=spec.name,
+            mode=spec.mode,
+            seed=spec.seed,
+            num_intervals=spec.num_intervals,
+            elapsed_s=elapsed,
+            intervals=records,
+            summary=self._summary(evaluation, raw_results),
+            per_cell=self._per_cell_series(evaluation, raw_results),
+            spec=spec.to_dict(),
+            evaluation=evaluation,
+            interval_results=raw_results,
+            simulator=simulator,
+        )
+        return run_result
+
+    # ------------------------------------------------------------ step script
+    def _apply_step_script(self, simulator: StreamingSimulator, step: int):
+        """Apply churn phases and timeline events scheduled for ``step``.
+
+        Returns ``(arrivals, departures, applied_events)`` for the interval
+        record.  Everything here is a pure function of (spec, step): the
+        departure picks come from a dedicated ``(seed, tag, step)`` stream,
+        never from the simulator's generators.
+        """
+        spec = self.spec
+        arrivals = 0
+        departures = 0
+        applied: List[str] = []
+        # One churn stream per (spec seed, step), shared by every phase and
+        # event of the step: deterministic, and independent of the
+        # simulator's own generators.
+        churn_rng = derive_stream((spec.seed, step, SCENARIO_CHURN_STREAM))
+        for phase in spec.population.churn_phases:
+            if phase.start_interval <= step < phase.end_interval:
+                for _ in range(phase.arrivals_per_interval):
+                    simulator.add_user(favourite=phase.arrival_favourite)
+                    arrivals += 1
+                departures += self._remove_users(
+                    simulator, phase.departures_per_interval, churn_rng
+                )
+        for event in spec.timeline:
+            if event.interval != step:
+                continue
+            label, added, removed = self._apply_event(simulator, event, churn_rng)
+            applied.append(label)
+            arrivals += added
+            departures += removed
+        return arrivals, departures, applied
+
+    def _apply_event(self, simulator: StreamingSimulator, event: ScenarioEvent, churn_rng):
+        """Apply one timeline event; returns ``(label, arrivals, departures)``."""
+        if isinstance(event, FlashCrowd):
+            for _ in range(event.arrivals):
+                simulator.add_user(favourite=event.favourite)
+            return f"flash_crowd(+{event.arrivals})", event.arrivals, 0
+        if isinstance(event, MassDeparture):
+            removed = self._remove_users(simulator, event.departures, churn_rng)
+            return f"mass_departure(-{removed})", 0, removed
+        if isinstance(event, (CellOutage, BudgetChange)):
+            cell_id = self._resolve_cell(simulator, event.cell)
+            simulator.controller.set_cell_budget(cell_id, event.budget_blocks)
+            kind = "cell_outage" if isinstance(event, CellOutage) else "budget_change"
+            return f"{kind}(cell={cell_id}, budget={event.budget_blocks:g})", 0, 0
+        raise TypeError(f"unknown scenario event {type(event).__name__}")
+
+    @staticmethod
+    def _remove_users(simulator: StreamingSimulator, count: int, rng) -> int:
+        """Remove up to ``count`` users, picked by the step's churn stream."""
+        removed = 0
+        for _ in range(count):
+            candidates = simulator.user_ids()
+            if len(candidates) <= MIN_POPULATION:
+                break
+            simulator.remove_user(int(rng.choice(candidates)))
+            removed += 1
+        return removed
+
+    @staticmethod
+    def _resolve_cell(simulator: StreamingSimulator, cell: Union[int, str]) -> int:
+        if simulator.controller is None:
+            raise ValueError("cell events need controller_mode='handover'")
+        if cell == "busiest":
+            states = simulator.controller.cell_states
+            return max(states, key=lambda cid: (states[cid].served_users, -cid))
+        return int(cell)
+
+    # ------------------------------------------------------------- groupings
+    def _build_grouping(self, simulator: StreamingSimulator) -> Dict[int, List[int]]:
+        grouping_spec = self.spec.grouping
+        user_ids = simulator.user_ids()
+        if grouping_spec.policy == "singleton":
+            return singleton_grouping(user_ids)
+        if grouping_spec.policy == "round_robin":
+            num_groups = min(max(grouping_spec.num_groups, 1), len(user_ids))
+            grouping: Dict[int, List[int]] = {gid: [] for gid in range(num_groups)}
+            for index, uid in enumerate(user_ids):
+                grouping[index % num_groups].append(uid)
+            return grouping
+        if grouping_spec.policy == "preference":
+            categories = tuple(simulator.config.categories)
+            grouping = {}
+            for uid in user_ids:
+                weights = simulator.users[uid].preference.as_array(categories)
+                grouping.setdefault(
+                    int(np.argmax(weights)) % grouping_spec.num_groups, []
+                ).append(uid)
+            return {gid: members for gid, members in sorted(grouping.items()) if members}
+        raise ValueError(f"unknown grouping policy {grouping_spec.policy!r}")
+
+    # -------------------------------------------------------------- reporting
+    @staticmethod
+    def _ground_truth_fields(
+        simulator: StreamingSimulator,
+        result: IntervalResult,
+        arrivals: int,
+        departures: int,
+        applied: List[str],
+    ) -> dict:
+        fields: dict = {
+            "num_users": len(simulator.users),
+            "arrivals": int(arrivals),
+            "departures": int(departures),
+            "events_applied": list(applied),
+            "outage_groups": [int(gid) for gid in result.outage_groups],
+            "total_traffic_bits": float(result.total_traffic_bits),
+        }
+        if simulator.controller is not None:
+            fields.update(
+                {
+                    "num_handovers": int(result.num_handovers),
+                    "group_splits": sum(
+                        1 for e in result.group_scope_events if e.kind == "split"
+                    ),
+                    "group_merges": sum(
+                        1 for e in result.group_scope_events if e.kind == "merge"
+                    ),
+                    # Non-finite utilization (a zero-budget cell with live
+                    # demand, e.g. an outage drill) serializes as null so the
+                    # cell keeps its key in every per-cell map.
+                    "rb_utilization_by_cell": {
+                        str(cell): float(value) if np.isfinite(value) else None
+                        for cell, value in sorted(result.rb_utilization_by_cell.items())
+                    },
+                    "rb_budget_by_cell": {
+                        str(cell): float(value)
+                        for cell, value in sorted(result.rb_budget_by_cell.items())
+                    },
+                    "overloaded_cells": sorted(
+                        int(e.cell_id) for e in result.cell_load_events if e.overloaded
+                    ),
+                }
+            )
+        return fields
+
+    @staticmethod
+    def _summary(
+        evaluation: Optional[EvaluationResult], raw_results: List[IntervalResult]
+    ) -> Dict[str, object]:
+        summary: Dict[str, object] = {}
+        if evaluation is not None and evaluation.intervals:
+            summary = dict(evaluation.to_dict()["summary"])
+        if raw_results:
+            actual = np.array([r.total_resource_blocks for r in raw_results])
+            summary.setdefault("mean_actual_radio_blocks", float(actual.mean()))
+            summary.setdefault(
+                "total_computing_cycles",
+                float(sum(r.total_computing_cycles for r in raw_results)),
+            )
+            summary.setdefault(
+                "total_handovers", int(sum(r.num_handovers for r in raw_results))
+            )
+            summary.setdefault(
+                "total_outage_groups",
+                int(sum(len(r.outage_groups) for r in raw_results)),
+            )
+        return summary
+
+    @staticmethod
+    def _per_cell_series(
+        evaluation: Optional[EvaluationResult], raw_results: List[IntervalResult]
+    ) -> Dict[str, Dict[str, List[float]]]:
+        """Aligned per-cell series over the run (empty in boundary mode)."""
+        series: Dict[str, Dict[str, List[float]]] = {}
+        if evaluation is not None and evaluation.intervals:
+            predicted = evaluation.predicted_radio_series_by_cell()
+            actual = evaluation.actual_radio_series_by_cell()
+            if predicted:
+                series["predicted_radio_blocks"] = {
+                    str(cell): [float(v) for v in values]
+                    for cell, values in predicted.items()
+                }
+                series["actual_radio_blocks"] = {
+                    str(cell): [float(v) for v in values]
+                    for cell, values in actual.items()
+                }
+        cells = sorted({cell for r in raw_results for cell in r.rb_budget_by_cell})
+        if cells:
+            series["rb_budget_blocks"] = {
+                str(cell): [float(r.rb_budget_by_cell.get(cell, 0.0)) for r in raw_results]
+                for cell in cells
+            }
+            series["rb_demand_blocks"] = {
+                str(cell): [float(r.rb_demand_by_cell.get(cell, 0.0)) for r in raw_results]
+                for cell in cells
+            }
+        return series
+
+
+def run_spec(spec: ScenarioSpec) -> RunResult:
+    """Compile and run ``spec`` in one call."""
+    return ScenarioRunner(spec).run()

@@ -82,6 +82,10 @@ class SimulationConfig:
     handover_hysteresis_db: float = 3.0
     handover_time_to_trigger_s: float = 10.0
     handover_sample_period_s: float = 5.0
+    #: Load-aware handover: cells the controller saw overloaded in the last
+    #: load report are discounted by this many dB in the A3 rule, steering
+    #: users away from them.  ``0.0`` (default) keeps handover pure-SNR.
+    handover_load_bias_db: float = 0.0
     cell_overload_threshold: float = 0.9
     cell_underload_threshold: float = 0.5
     cell_rebalance_fraction: float = 0.25
@@ -144,6 +148,8 @@ class SimulationConfig:
             )
         if self.handover_hysteresis_db < 0 or self.handover_time_to_trigger_s < 0:
             raise ValueError("handover hysteresis and time-to-trigger must be non-negative")
+        if self.handover_load_bias_db < 0:
+            raise ValueError("handover_load_bias_db must be non-negative")
         if self.handover_sample_period_s <= 0:
             raise ValueError("handover_sample_period_s must be positive")
         if not 0.0 < self.cell_underload_threshold < self.cell_overload_threshold:

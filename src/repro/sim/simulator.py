@@ -401,6 +401,7 @@ class StreamingSimulator:
                         hysteresis_db=config.handover_hysteresis_db,
                         time_to_trigger_s=config.handover_time_to_trigger_s,
                         sample_period_s=config.handover_sample_period_s,
+                        load_bias_db=config.handover_load_bias_db,
                     ),
                     overload_threshold=config.cell_overload_threshold,
                     underload_threshold=config.cell_underload_threshold,

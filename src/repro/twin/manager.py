@@ -96,12 +96,23 @@ class DigitalTwinManager:
         num_steps: int = 32,
         attribute_order: Optional[Sequence[str]] = None,
         user_ids: Optional[Sequence[int]] = None,
+        batched: Optional[bool] = None,
     ) -> np.ndarray:
         """Stacked per-user feature matrices, shape ``(users, num_steps, channels)``.
 
         Users are ordered by ``user_ids`` (default: sorted registry order),
         which is also the row order of everything derived downstream
         (compressed features, cluster labels, multicast groups).
+
+        ``batched`` selects the resampling engine.  ``True`` runs the
+        cross-user batched path (:meth:`batched_feature_tensor`): one
+        ``searchsorted`` per *attribute* over the stacked population instead
+        of one per (user, attribute), bypassing the per-user cache.
+        ``False`` forces the per-user (cache-backed) path.  The default
+        ``None`` resolves to batched exactly when the feature cache is
+        disabled — with the cache on, sliding-window reuse beats re-batching
+        every call.  Both paths produce bit-identical tensors (zero-order
+        hold is deterministic), pinned by the equivalence tests.
         """
         ids = list(user_ids) if user_ids is not None else self.user_ids()
         if not ids:
@@ -111,8 +122,100 @@ class DigitalTwinManager:
         if num_steps <= 0:
             raise ValueError("num_steps must be positive")
         times = np.linspace(start_s, end_s, num_steps, endpoint=False)
+        if batched is None:
+            batched = not self.feature_cache_enabled
+        if batched:
+            return self._batched_feature_tensor(ids, times, attribute_order)
         matrices = [self._user_feature_matrix(uid, times, attribute_order) for uid in ids]
         return np.stack(matrices, axis=0)
+
+    def batched_feature_tensor(
+        self,
+        start_s: float,
+        end_s: float,
+        num_steps: int = 32,
+        attribute_order: Optional[Sequence[str]] = None,
+        user_ids: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """:meth:`feature_tensor` via the cross-user batched resample.
+
+        Zero-order-hold resampling is two ``searchsorted`` lookups plus a
+        gather per store; the per-user path dispatches that pair once per
+        ``(user, attribute)``, so at population scale NumPy call overhead —
+        not the resampling arithmetic — dominates.  This path concatenates
+        every user's timestamps per attribute into one ascending array (each
+        user's block shifted by a constant offset larger than the global
+        time span, so blocks cannot interleave), resolves *all* users' grid
+        rows with a single ``searchsorted`` over it, and gathers the values
+        with one ``take``: one NumPy dispatch sequence per attribute for the
+        entire population.
+
+        Caveat: the shift arithmetic compares timestamps at a magnitude of
+        roughly ``population x time span``, so two *distinct* timestamps
+        closer than the float64 rounding granularity there (sub-microsecond
+        at millions of user-hours) could collapse; simulation timestamps
+        are multiples of collection periods, far above that.
+        """
+        return self.feature_tensor(
+            start_s,
+            end_s,
+            num_steps=num_steps,
+            attribute_order=attribute_order,
+            user_ids=user_ids,
+            batched=True,
+        )
+
+    def _batched_feature_tensor(
+        self,
+        ids: Sequence[int],
+        times: np.ndarray,
+        attribute_order: Optional[Sequence[str]] = None,
+    ) -> np.ndarray:
+        twins = [self.twin(uid) for uid in ids]
+        order = (
+            tuple(attribute_order)
+            if attribute_order is not None
+            else tuple(twins[0].attributes)
+        )
+        num_users = len(twins)
+        num_steps = times.shape[0]
+        dims = [twins[0].store(name).dimension for name in order]
+        tensor = np.empty((num_users, num_steps, int(sum(dims))))
+        column = 0
+        for name, dim in zip(order, dims):
+            stores = [twin.store(name) for twin in twins]
+            out = tensor[:, :, column : column + dim]
+            sizes = np.array([len(store) for store in stores])
+            filled = sizes > 0
+            if not filled.any():
+                out[:] = 0.0
+                column += dim
+                continue
+            time_blocks = [store.time_view() for store, keep in zip(stores, filled) if keep]
+            value_blocks = [store.value_view() for store, keep in zip(stores, filled) if keep]
+            # Offset that strictly separates consecutive users' blocks: any
+            # value exceeding the global [min(sample, grid), max] span works,
+            # because block u's shifted queries then stay below block u+1's
+            # shifted first timestamp.
+            low = min(float(times[0]), min(float(block[0]) for block in time_blocks))
+            high = max(float(times[-1]), max(float(block[-1]) for block in time_blocks))
+            offset = (high - low) + 1.0
+            shifts = offset * np.arange(filled.sum())
+            stacked_times = np.concatenate(
+                [block + shift for block, shift in zip(time_blocks, shifts)]
+            )
+            queries = (times[None, :] + shifts[:, None]).reshape(-1)
+            rows = stacked_times.searchsorted(queries, side="right") - 1
+            # Per-user clamp to the block's first row (the zero-order-hold
+            # "times before the first sample take the first value" rule).
+            starts = np.concatenate(([0], np.cumsum(sizes[filled])))[:-1]
+            np.maximum(rows, np.repeat(starts, num_steps), out=rows)
+            gathered = np.concatenate(value_blocks, axis=0)[rows]
+            out[filled] = gathered.reshape(int(filled.sum()), num_steps, dim)
+            if not filled.all():
+                out[~filled] = 0.0
+            column += dim
+        return tensor
 
     def user_feature_matrix(
         self,

@@ -225,6 +225,19 @@ class TimeSeriesStore:
     def timestamps(self) -> np.ndarray:
         return self._active_times().copy()
 
+    def time_view(self) -> np.ndarray:
+        """No-copy view of the active timestamps — treat as read-only.
+
+        Batch readers (the manager's cross-user resample) stack many stores'
+        buffers into one array; handing them a copy per store per query
+        would defeat the point.
+        """
+        return self._active_times()
+
+    def value_view(self) -> np.ndarray:
+        """No-copy ``(num_samples, dimension)`` view — treat as read-only."""
+        return self._active_values()
+
     def values(self) -> np.ndarray:
         """All values stacked into shape ``(num_samples, dimension)``."""
         if not self._size:

@@ -390,3 +390,100 @@ class TestSimulatorIntegration:
             SimulationConfig(cell_underload_threshold=0.95)
         with pytest.raises(ValueError):
             SimulationConfig(cell_rebalance_fraction=-0.1)
+
+
+class TestLoadAwareHandover:
+    def test_bias_discounts_overloaded_candidate(self):
+        """A margin that triggers pure-SNR is suppressed by the target's bias."""
+        times = np.arange(0.0, 40.0, 5.0)
+        snr = _snr_tensor([10.0] * 8, [14.0] * 8)  # 4 dB > 3 dB hysteresis
+        decisions, _, _ = _policy().evaluate(times, snr, [0])
+        assert decisions  # sanity: fires without bias
+        decisions, serving, _ = _policy().evaluate(
+            times, snr, [0], cell_bias_db=[0.0, -6.0]
+        )
+        assert decisions == [] and serving.tolist() == [0]
+
+    def test_bias_on_serving_cell_eases_leaving_it(self):
+        """A sub-hysteresis margin fires once the serving cell is discounted."""
+        times = np.arange(0.0, 40.0, 5.0)
+        snr = _snr_tensor([10.0] * 8, [11.0] * 8)  # 1 dB < 3 dB hysteresis
+        decisions, _, _ = _policy().evaluate(times, snr, [0])
+        assert decisions == []
+        decisions, serving, _ = _policy().evaluate(
+            times, snr, [0], cell_bias_db=[-6.0, 0.0]
+        )
+        # Effective margin 1 - (-6) = 7 dB; the reported margin is biased.
+        assert [d.time_s for d in decisions] == [10.0]
+        assert decisions[0].margin_db == pytest.approx(7.0)
+        assert serving.tolist() == [1]
+
+    def test_zero_bias_vector_is_bit_identical_to_none(self):
+        times = np.arange(0.0, 60.0, 5.0)
+        rng = np.random.default_rng(3)
+        snr = rng.normal(12.0, 4.0, size=(12, 3, 2))
+        base = _policy().evaluate(times, snr, [0, 1, 0])
+        biased = _policy().evaluate(times, snr, [0, 1, 0], cell_bias_db=[0.0, 0.0])
+        assert [d.time_s for d in base[0]] == [d.time_s for d in biased[0]]
+        assert base[1].tolist() == biased[1].tolist()
+
+    def test_bias_vector_shape_is_validated(self):
+        times = np.arange(0.0, 10.0, 5.0)
+        snr = _snr_tensor([10.0, 10.0], [14.0, 14.0])
+        with pytest.raises(ValueError):
+            _policy().evaluate(times, snr, [0], cell_bias_db=[0.0, 0.0, 0.0])
+
+    def test_controller_derives_bias_from_overload_state(self):
+        controller = _two_cell_controller(
+            handover=HandoverConfig(load_bias_db=6.0), overload_threshold=0.9
+        )
+        controller.attach_user(0, 0)
+        assert controller.cell_bias_db().tolist() == [0.0, 0.0]
+        # Cell 0 reports 95/100 blocks used -> overloaded -> discounted.
+        controller.finish_interval({0: 95.0}, {}, time_s=300.0)
+        assert controller.cell_bias_db().tolist() == [-6.0, 0.0]
+        # An outage drill (zero budget, demand) also counts as overloaded.
+        controller.set_cell_budget(1, 0.0)
+        controller.finish_interval({0: 10.0, 1: 5.0}, {}, time_s=600.0)
+        assert controller.cell_bias_db().tolist()[1] == -6.0
+
+    def test_bias_disabled_returns_none(self):
+        controller = _two_cell_controller()
+        controller.attach_user(0, 0)
+        controller.finish_interval({0: 95.0}, {}, time_s=300.0)
+        assert controller.cell_bias_db() is None
+
+    def test_load_bias_steers_users_off_a_dead_cell(self):
+        """End to end: the outage drill sheds load faster with the bias on."""
+        def run(load_bias_db):
+            sim = StreamingSimulator(
+                _handover_config(
+                    num_users=24,
+                    num_base_stations=4,
+                    seed=11,
+                    handover_load_bias_db=load_bias_db,
+                    handover_time_to_trigger_s=5.0,
+                )
+            )
+            dead = max(
+                sim.controller.cell_states,
+                key=lambda cid: sim.controller.cell_states[cid].served_users,
+            )
+            sim.run_interval(singleton_grouping(sim.user_ids()))
+            sim.controller.set_cell_budget(dead, 0.0)
+            for _ in range(3):
+                sim.run_interval(singleton_grouping(sim.user_ids()))
+            return dead, sim.controller.cell_states
+
+        dead, unbiased = run(0.0)
+        dead_b, biased = run(12.0)
+        assert dead == dead_b  # same seed, same hotspot
+        # The biased controller leaves no more users camped on the dead cell
+        # than the pure-SNR one (typically strictly fewer).
+        assert biased[dead].served_users <= unbiased[dead].served_users
+
+    def test_invalid_load_bias_config(self):
+        with pytest.raises(ValueError):
+            HandoverConfig(load_bias_db=-1.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(handover_load_bias_db=-0.5)

@@ -1,0 +1,383 @@
+"""Tests for the declarative scenario API (spec → compile → run).
+
+Covers:
+
+* spec mechanics — overrides by dotted path, validation, JSON export;
+* compile determinism — ``compile_spec`` is pure (same spec → equal
+  ``SimulationConfig`` / ``SchemeConfig``);
+* golden parity — the registry ports of ``campus_fig3`` and
+  ``multicell_campus`` reproduce the historical hand-wired code paths
+  bit-for-bit (per-interval totals and predictions);
+* the runner — timeline events, churn phases, the JSON-canonical
+  ``RunResult`` round-trip;
+* the registry + CLI — every registered scenario lists, compiles and
+  smoke-runs for one interval (the same matrix CI executes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro import DTResourcePredictionScheme, SchemeConfig, SimulationConfig, StreamingSimulator
+from repro.cli import main as cli_main, parse_overrides
+from repro.scenario import (
+    CellOutage,
+    ChurnPhase,
+    FlashCrowd,
+    MassDeparture,
+    ScenarioRunner,
+    ScenarioSpec,
+    compile_spec,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+)
+from repro.scenario.runner import MIN_POPULATION
+
+
+def _tiny_fig3_overrides(num_users=10, num_intervals=2):
+    """Shrink campus_fig3 so a full scheme run stays fast in the suite."""
+    return {
+        "population.num_users": num_users,
+        "num_intervals": num_intervals,
+        "interval_s": 80.0,
+        "seed": 4,
+        "scheme.cnn_epochs": 2,
+        "scheme.ddqn_episodes": 2,
+        "scheme.mc_rollouts": 4,
+    }
+
+
+class TestSpec:
+    def test_with_overrides_replaces_leaves_without_mutating(self):
+        spec = get_scenario("campus_fig3")
+        other = spec.with_overrides(
+            {"population.num_users": 99, "seed": 1, "engine.playback_workers": 2}
+        )
+        assert other.population.num_users == 99
+        assert other.seed == 1
+        assert other.engine.playback_workers == 2
+        # The source spec is untouched (frozen tree).
+        assert spec.population.num_users == 24 and spec.seed == 2023
+
+    def test_with_overrides_coerces_numeric_leaf_types(self):
+        spec = get_scenario("campus_fig3").with_overrides(
+            {"interval_s": 120, "population.num_users": 16.0}
+        )
+        assert isinstance(spec.interval_s, float) and spec.interval_s == 120.0
+        assert isinstance(spec.population.num_users, int)
+        with pytest.raises(ValueError, match="integer"):
+            # A non-integral float never silently truncates.
+            get_scenario("campus_fig3").with_overrides({"population.num_users": 30.9})
+
+    def test_unknown_override_paths_raise(self):
+        spec = get_scenario("campus_fig3")
+        with pytest.raises(KeyError):
+            spec.with_overrides({"population.num_userz": 5})
+        with pytest.raises(KeyError):
+            spec.with_overrides({"nope": 5})
+        with pytest.raises(KeyError):
+            # Structured fields cannot be replaced wholesale by path.
+            spec.with_overrides({"population": 5})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="bad", mode="nope")
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="bad", num_intervals=0)
+        with pytest.raises(ValueError):
+            # Cell events need the handover controller.
+            ScenarioSpec(name="bad", timeline=(CellOutage(interval=0),))
+        with pytest.raises(ValueError):
+            ScenarioSpec(
+                name="bad",
+                population=dataclasses.replace(
+                    get_scenario("campus_fig3").population,
+                    churn_phases=(ChurnPhase(start_interval=3, end_interval=3),),
+                ),
+            )
+
+    def test_to_dict_is_json_canonical_and_tags_events(self):
+        spec = get_scenario("cell_outage_storm")
+        payload = spec.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        kinds = [event["type"] for event in payload["timeline"]]
+        assert kinds == ["cell_outage", "cell_outage", "budget_change"]
+
+
+class TestCompile:
+    def test_compile_is_pure(self):
+        for name in scenario_names():
+            a = compile_spec(get_scenario(name))
+            b = compile_spec(get_scenario(name))
+            assert a.sim_config == b.sim_config, name
+            assert a.scheme_config == b.scheme_config, name
+            assert a.spec == b.spec, name
+
+    def test_compiled_capacity_accounts_for_warmup_and_spare(self):
+        spec = get_scenario("campus_fig3")  # scheme mode, warmup 2, spare 1
+        compiled = compile_spec(spec)
+        assert compiled.sim_config.num_intervals == spec.num_intervals + 3
+        playback = compile_spec(get_scenario("multicell_campus"))
+        assert playback.sim_config.num_intervals == 8
+        assert playback.scheme_config is None
+
+    def test_campus_fig3_compiles_to_the_historical_config(self):
+        """Field-for-field equality with the hand-wired Fig. 3 runner's config."""
+        compiled = compile_spec(get_scenario("campus_fig3"))
+        assert compiled.sim_config == SimulationConfig(
+            num_users=24,
+            num_videos=100,
+            num_intervals=9,
+            interval_s=150.0,
+            favourite_category="News",
+            favourite_user_fraction=0.8,
+            favourite_boost=8.0,
+            recommendation_popularity_weight=0.3,
+            popularity_update_rate=0.05,
+            seed=2023,
+        )
+        assert compiled.scheme_config == SchemeConfig(
+            warmup_intervals=2,
+            cnn_epochs=6,
+            ddqn_episodes=12,
+            mc_rollouts=10,
+            min_groups=2,
+            max_groups=6,
+            seed=0,
+        )
+
+    def test_multicell_campus_compiles_to_the_historical_config(self):
+        compiled = compile_spec(get_scenario("multicell_campus"))
+        assert compiled.sim_config == SimulationConfig(
+            num_users=48,
+            num_videos=80,
+            num_intervals=8,
+            interval_s=300.0,
+            num_base_stations=4,
+            area_width_m=1400.0,
+            area_height_m=1100.0,
+            favourite_category="News",
+            favourite_user_fraction=0.5,
+            controller_mode="handover",
+            channel_draw_mode="fast",
+            seed=17,
+        )
+
+
+class TestGoldenParity:
+    def test_campus_fig3_matches_hand_wired_scheme_run(self):
+        """The scheme-mode runner replays the historical predict-then-observe loop."""
+        overrides = _tiny_fig3_overrides()
+        run = run_scenario("campus_fig3", overrides)
+
+        compiled = compile_spec(get_scenario("campus_fig3", overrides))
+        with DTResourcePredictionScheme(
+            StreamingSimulator(compiled.sim_config), compiled.scheme_config
+        ) as scheme:
+            reference = scheme.run(num_intervals=2)
+
+        assert np.array_equal(
+            run.evaluation.actual_radio_series(), reference.actual_radio_series()
+        )
+        assert np.array_equal(
+            run.evaluation.predicted_radio_series(), reference.predicted_radio_series()
+        )
+        assert np.array_equal(
+            run.evaluation.actual_computing_series(),
+            reference.actual_computing_series(),
+        )
+
+    def test_multicell_campus_matches_hand_wired_playback_loop(self):
+        """The playback runner replays the historical example loop bit-for-bit."""
+        overrides = {"population.num_users": 16, "num_intervals": 3, "seed": 3}
+        spec = get_scenario("multicell_campus", overrides)
+        spec = dataclasses.replace(
+            spec, timeline=(CellOutage(interval=1, cell="busiest", budget_blocks=0.0),)
+        )
+        run = ScenarioRunner(spec).run()
+
+        # The pre-redesign hand-wired path, verbatim.
+        sim = StreamingSimulator(compile_spec(spec).sim_config)
+
+        def preference_grouping(sim, num_groups=4):
+            categories = tuple(sim.config.categories)
+            grouping = {}
+            for uid in sim.user_ids():
+                weights = sim.users[uid].preference.as_array(categories)
+                grouping.setdefault(int(np.argmax(weights)) % num_groups, []).append(uid)
+            return {gid: members for gid, members in sorted(grouping.items()) if members}
+
+        def busiest_cell(sim):
+            states = sim.controller.cell_states
+            return max(states, key=lambda cid: (states[cid].served_users, -cid))
+
+        reference = []
+        for interval in range(3):
+            if interval == 1:
+                sim.controller.set_cell_budget(busiest_cell(sim), 0.0)
+            reference.append(sim.run_interval(preference_grouping(sim)))
+
+        assert [r["actual_radio_blocks"] for r in run.intervals] == [
+            r.total_resource_blocks for r in reference
+        ]
+        assert [r["num_handovers"] for r in run.intervals] == [
+            r.num_handovers for r in reference
+        ]
+        assert [r.rb_budget_by_cell for r in run.interval_results] == [
+            r.rb_budget_by_cell for r in reference
+        ]
+
+    def test_run_is_reproducible_from_the_spec_alone(self):
+        a = run_scenario("stadium_egress", {"num_intervals": 2})
+        b = run_scenario("stadium_egress", {"num_intervals": 2})
+        assert a.intervals == b.intervals
+
+
+class TestRunner:
+    def test_churn_phase_grows_population_and_records_it(self):
+        run = run_scenario(
+            "commuter_rush",
+            {"num_intervals": 2, "population.num_users": 8},
+        )
+        # Phase: +6 arrivals per interval for the first three steps.
+        assert [r["num_users"] for r in run.intervals] == [14, 20]
+        assert all(r["arrivals"] == 6 for r in run.intervals)
+
+    def test_flash_crowd_event_adds_users_at_its_interval(self):
+        spec = get_scenario("commuter_rush", {"num_intervals": 2, "population.num_users": 8})
+        spec = dataclasses.replace(
+            spec,
+            timeline=(FlashCrowd(interval=1, arrivals=5, favourite="Sports"),),
+            population=dataclasses.replace(spec.population, churn_phases=()),
+        )
+        run = ScenarioRunner(spec).run()
+        assert [r["num_users"] for r in run.intervals] == [8, 13]
+        assert run.intervals[1]["arrivals"] == 5
+        assert run.intervals[1]["events_applied"] == ["flash_crowd(+5)"]
+
+    def test_mass_departure_respects_population_floor(self):
+        spec = get_scenario("stadium_egress", {"population.num_users": 6})
+        spec = dataclasses.replace(
+            spec,
+            num_intervals=1,
+            timeline=(MassDeparture(interval=0, departures=50),),
+            population=dataclasses.replace(spec.population, churn_phases=()),
+        )
+        run = ScenarioRunner(spec).run()
+        assert run.intervals[0]["num_users"] == MIN_POPULATION
+        assert run.intervals[0]["departures"] == 6 - MIN_POPULATION
+
+    def test_cell_outage_applies_before_the_interval(self):
+        run = run_scenario("multicell_campus", {"num_intervals": 5, "population.num_users": 16})
+        drilled = run.intervals[4]
+        assert any(label.startswith("cell_outage") for label in drilled["events_applied"])
+        assert min(drilled["rb_budget_by_cell"].values()) == 0.0
+
+    def test_run_result_round_trips_through_json(self):
+        for name, overrides in [
+            ("multicell_campus", {"num_intervals": 2, "population.num_users": 12}),
+            ("campus_fig3", _tiny_fig3_overrides()),
+        ]:
+            payload = run_scenario(name, overrides).to_dict()
+            assert json.loads(json.dumps(payload)) == payload
+            assert payload["intervals"] and payload["summary"]
+            assert payload["spec"]["name"] == name
+
+    def test_scheme_records_use_the_unified_interval_shape(self):
+        run = run_scenario("campus_fig3", _tiny_fig3_overrides())
+        unified = [e.to_dict() for e in run.evaluation.intervals]
+        for record, expected in zip(run.intervals, unified):
+            for key, value in expected.items():
+                assert record[key] == value
+            assert "num_users" in record and "events_applied" in record
+
+    def test_load_bias_is_exposed_through_the_spec(self):
+        spec = get_scenario("cell_outage_storm")
+        assert spec.controller.handover_load_bias_db == 6.0
+        compiled = compile_spec(spec)
+        assert compiled.sim_config.handover_load_bias_db == 6.0
+        sim = StreamingSimulator(compiled.sim_config)
+        assert sim.controller.config.handover.load_bias_db == 6.0
+
+
+class TestRegistry:
+    def test_at_least_six_scenarios_are_registered(self):
+        names = scenario_names()
+        assert len(names) >= 6
+        for expected in (
+            "campus_fig3",
+            "multicell_campus",
+            "flash_crowd",
+            "stadium_egress",
+            "commuter_rush",
+            "cell_outage_storm",
+        ):
+            assert expected in names
+
+    def test_factories_return_fresh_specs(self):
+        assert get_scenario("campus_fig3") is not get_scenario("campus_fig3")
+        assert get_scenario("campus_fig3") == get_scenario("campus_fig3")
+
+    def test_unknown_scenario_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="campus_fig3"):
+            get_scenario("nope")
+
+    def test_every_scenario_smoke_runs_one_interval(self):
+        """The same matrix CI executes: every entry runs and round-trips."""
+        for name in scenario_names():
+            run = run_scenario(name, {"num_intervals": 1})
+            payload = run.to_dict()
+            assert json.loads(json.dumps(payload)) == payload, name
+            assert len(payload["intervals"]) == 1, name
+            assert payload["intervals"][0]["actual_radio_blocks"] >= 0.0, name
+
+
+class TestCli:
+    def test_parse_overrides(self):
+        overrides = parse_overrides(
+            ["population.num_users=12", "engine.channel_draw_mode=fast", "seed=3"]
+        )
+        assert overrides == {
+            "population.num_users": 12,
+            "engine.channel_draw_mode": "fast",
+            "seed": 3,
+        }
+        with pytest.raises(ValueError):
+            parse_overrides(["oops"])
+
+    def test_scenarios_subcommand_lists_registry(self, capsys):
+        assert cli_main(["scenarios", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {entry["name"] for entry in payload["scenarios"]} == set(scenario_names())
+
+    def test_run_subcommand_emits_run_result_json(self, capsys):
+        assert (
+            cli_main(
+                [
+                    "run",
+                    "multicell_campus",
+                    "--intervals",
+                    "1",
+                    "--override",
+                    "population.num_users=12",
+                    "--json",
+                    "-",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "multicell_campus"
+        assert payload["num_intervals"] == 1
+        assert payload["spec"]["population"]["num_users"] == 12
+
+    def test_run_subcommand_prints_tables(self, capsys):
+        assert cli_main(["run", "multicell_campus", "--intervals", "1",
+                         "--override", "population.num_users=12"]) == 0
+        out = capsys.readouterr().out
+        assert "actual RBs" in out and "multicell_campus" in out

@@ -271,3 +271,69 @@ class TestDigitalTwinManager:
         manager.register_user(0)
         manager.remove_user(0)
         assert 0 not in manager
+
+
+class TestBatchedFeatureTensor:
+    """Cross-user batched resample == per-user path, bit for bit."""
+
+    @staticmethod
+    def _populated_manager(num_users=9, seed=0):
+        rng = np.random.default_rng(seed)
+        manager = DigitalTwinManager()
+        manager.register_users(range(num_users))
+        for uid in range(num_users):
+            twin = manager.twin(uid)
+            if uid == 4:
+                continue  # one user with fully empty stores (resamples to zeros)
+            for name, spec in twin.attributes.items():
+                if uid == 6 and name == PREFERENCE:
+                    continue  # one user with a single empty attribute
+                count = int(rng.integers(1, 40))
+                times = np.sort(rng.uniform(0.0, 900.0, count))
+                twin.store(name).append_batch(
+                    times, rng.normal(size=(count, spec.dimension))
+                )
+        return manager
+
+    def test_batched_equals_per_user_path(self):
+        manager = self._populated_manager()
+        for window in [(0.0, 900.0), (100.0, 400.0), (850.0, 1200.0), (950.0, 1000.0)]:
+            per_user = manager.feature_tensor(*window, num_steps=32, batched=False)
+            batched = manager.feature_tensor(*window, num_steps=32, batched=True)
+            assert np.array_equal(per_user, batched)
+
+    def test_batched_respects_user_and_attribute_order(self):
+        manager = self._populated_manager()
+        order = [WATCHING_DURATION, PREFERENCE, CHANNEL_CONDITION, LOCATION]
+        ids = [7, 0, 4, 2]
+        per_user = manager.feature_tensor(
+            50.0, 500.0, num_steps=17, attribute_order=order, user_ids=ids, batched=False
+        )
+        batched = manager.feature_tensor(
+            50.0, 500.0, num_steps=17, attribute_order=order, user_ids=ids, batched=True
+        )
+        assert np.array_equal(per_user, batched)
+
+    def test_batched_equals_twin_feature_matrix(self):
+        manager = self._populated_manager(num_users=3, seed=5)
+        tensor = manager.feature_tensor(0.0, 300.0, num_steps=16, batched=True)
+        for row, uid in enumerate(manager.user_ids()):
+            direct = manager.twin(uid).feature_matrix(0.0, 300.0, num_steps=16)
+            assert np.array_equal(tensor[row], direct)
+
+    def test_default_resolution_tracks_cache_flag(self):
+        cached = self._populated_manager()
+        uncached = self._populated_manager()
+        uncached.feature_cache_enabled = False
+        a = cached.feature_tensor(0.0, 500.0, num_steps=8)
+        b = uncached.feature_tensor(0.0, 500.0, num_steps=8)
+        assert np.array_equal(a, b)
+        # The cache-backed path populated its cache; the batched one did not.
+        assert cached._feature_cache and not uncached._feature_cache
+
+    def test_batched_after_appends_sees_new_samples(self):
+        manager = self._populated_manager(num_users=4, seed=2)
+        before = manager.feature_tensor(0.0, 1200.0, num_steps=12, batched=True)
+        manager.twin(0).record(CHANNEL_CONDITION, 950.0, [99.0])
+        after = manager.feature_tensor(0.0, 1200.0, num_steps=12, batched=True)
+        assert not np.array_equal(before, after)
