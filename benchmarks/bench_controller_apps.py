@@ -1,0 +1,171 @@
+"""Controller-app stack A/B benchmark: pluggable policies, same scenarios.
+
+Runs each scenario under three controller-app stacks selected purely via
+``ScenarioSpec`` overrides — exactly what ``repro run --override
+controller.apps=...`` does from the CLI:
+
+* ``default`` — the built-in stack (``a3_handover``, ``cell_scoping``,
+  ``prorata_rebalance``), bit-identical to the historical monolithic
+  controller;
+* ``greedy`` — swaps the pro-rata budget rebalancer for
+  ``greedy_rebalance`` (largest deficit pulls from largest donor);
+* ``demotion`` — inserts ``weak_member_demotion`` before scoping, pulling
+  cell-edge members out of multicast groups into unicast singletons before
+  the worst-member rule prices the group.
+
+Scenarios: ``flash_crowd`` (scheme mode — the DT prediction loop runs on
+top of the selected stack) and ``cell_outage_storm`` (playback mode — two
+cascading outages leave three donor cells, where pro-rata and greedy
+allocate measurably differently).  The harness JSON record
+(``results/controller_apps.json``) carries the ``ran.*`` outcomes per
+(scenario, stack): handovers, radio-block demand, final per-cell budgets
+and app-event counts, so policy A/B deltas are machine-comparable across
+PRs.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_controller_apps.py``)
+or under pytest-benchmark like the other benches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from harness import benchmark_record, run_once, write_benchmark_json
+
+from repro.scenario import run_scenario
+
+#: Scenario -> intervals run.  ``cell_outage_storm`` needs one interval
+#: beyond the outage at step 2: the per-interval budget snapshot is taken
+#: before end-of-interval rebalancing, so the rebalancers' divergent
+#: allocations only surface in the following interval's record.
+INTERVALS = {"flash_crowd": 3, "cell_outage_storm": 4}
+
+#: stack name -> controller.apps override (None = the default stack).
+STACKS = {
+    "default": None,
+    "greedy": "a3_handover,cell_scoping,greedy_rebalance",
+    "demotion": [
+        "a3_handover",
+        {"name": "weak_member_demotion", "params": {"rssi_threshold_db": 28.0}},
+        "cell_scoping",
+        "prorata_rebalance",
+    ],
+}
+
+SCENARIOS = ("flash_crowd", "cell_outage_storm")
+
+
+def _run_config(scenario: str, stack: str, apps: Optional[object]) -> dict:
+    overrides = {"num_intervals": INTERVALS[scenario]}
+    if apps is not None:
+        overrides["controller.apps"] = apps
+    result = run_scenario(scenario, overrides)
+    data = result.to_dict()
+    app_events = {}
+    for record in data["intervals"]:
+        for event in record.get("controller_events", ()):
+            if event["type"] == "app":
+                key = f"{event['app']}:{event['name']}"
+                app_events[key] = app_events.get(key, 0) + 1
+    return {
+        "scenario": scenario,
+        "stack": stack,
+        "intervals": INTERVALS[scenario],
+        "num_users": int(data["intervals"][-1]["num_users"]),
+        "elapsed_s": result.elapsed_s,
+        "mean_actual_radio_blocks": float(data["summary"]["mean_actual_radio_blocks"]),
+        "total_handovers": int(data["summary"]["total_handovers"]),
+        "total_outage_groups": int(data["summary"]["total_outage_groups"]),
+        "final_rb_budget_by_cell": data["intervals"][-1]["rb_budget_by_cell"],
+        "app_events": app_events,
+    }
+
+
+def controller_apps_experiment() -> List[dict]:
+    rows = []
+    for scenario in SCENARIOS:
+        for stack, apps in STACKS.items():
+            rows.append(_run_config(scenario, stack, apps))
+    return rows
+
+
+def report(rows: List[dict]) -> None:
+    records = [
+        benchmark_record(
+            "controller_apps",
+            elapsed_s=row["elapsed_s"],
+            users=row["num_users"],
+            intervals=row["intervals"],
+            scenario=row["scenario"],
+            stack=row["stack"],
+            mean_actual_radio_blocks=row["mean_actual_radio_blocks"],
+            total_handovers=row["total_handovers"],
+            total_outage_groups=row["total_outage_groups"],
+            final_rb_budget_by_cell=row["final_rb_budget_by_cell"],
+            app_events=row["app_events"],
+        )
+        for row in rows
+    ]
+    path = write_benchmark_json("controller_apps", records)
+
+    print()
+    print("Controller-app stack A/B")
+    print(f"{'scenario':>17s} {'stack':>9s} {'mean RBs':>9s} {'handovers':>9s} "
+          f"{'app events':>10s} {'final budgets':>30s}")
+    for row in rows:
+        budgets = ", ".join(
+            f"{cell}:{value:.0f}"
+            for cell, value in sorted(row["final_rb_budget_by_cell"].items())
+        )
+        print(
+            f"{row['scenario']:>17s} {row['stack']:>9s} "
+            f"{row['mean_actual_radio_blocks']:>9.2f} {row['total_handovers']:>9d} "
+            f"{sum(row['app_events'].values()):>10d} {budgets:>30s}"
+        )
+    print(f"JSON record: {path}")
+
+
+def _assertions(rows: List[dict]) -> None:
+    by_key = {(row["scenario"], row["stack"]): row for row in rows}
+    for scenario in SCENARIOS:
+        default = by_key[(scenario, "default")]
+        greedy = by_key[(scenario, "greedy")]
+        demotion = by_key[(scenario, "demotion")]
+        # Stack selection must not perturb what it does not touch: the
+        # rebalancers only move budget, so the handover sequence is shared.
+        assert greedy["total_handovers"] == default["total_handovers"]
+        # Demotion must actually fire and change the radio-block outcome.
+        demotes = sum(
+            count
+            for key, count in demotion["app_events"].items()
+            if key.endswith(":demote")
+        )
+        assert demotes > 0, f"{scenario}: weak_member_demotion never fired"
+        assert (
+            demotion["mean_actual_radio_blocks"]
+            != default["mean_actual_radio_blocks"]
+        ), f"{scenario}: demotion stack changed nothing"
+    # With three donor cells after the outage, greedy and pro-rata allocate
+    # the donated budget differently.
+    storm_default = by_key[("cell_outage_storm", "default")]
+    storm_greedy = by_key[("cell_outage_storm", "greedy")]
+    assert storm_greedy["final_rb_budget_by_cell"] != storm_default[
+        "final_rb_budget_by_cell"
+    ], "greedy vs pro-rata budgets did not diverge"
+    assert sum(
+        count
+        for key, count in storm_greedy["app_events"].items()
+        if key.endswith(":budget_transfer")
+    ) > 0
+
+
+def bench_controller_apps(benchmark):
+    rows = run_once(benchmark, controller_apps_experiment)
+    report(rows)
+    _assertions(rows)
+
+
+if __name__ == "__main__":
+    rows = controller_apps_experiment()
+    report(rows)
+    _assertions(rows)

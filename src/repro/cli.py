@@ -4,8 +4,10 @@ Exposes the reproduction's experiments as subcommands so downstream users
 can rerun them (and sweep their parameters) without writing Python::
 
     python -m repro scenarios                    # list the scenario registry
+    python -m repro apps                         # list the controller apps
     python -m repro run multicell_campus         # run a named scenario
     python -m repro run campus_fig3 --intervals 3 --override population.num_users=40
+    python -m repro run cell_outage_storm --override controller.apps=a3_handover,cell_scoping,greedy_rebalance
     python -m repro fig3 --users 30 --intervals 8
     python -m repro grouping-ablation
     python -m repro staleness-ablation
@@ -124,6 +126,21 @@ def _add_scenarios_parser(subparsers) -> None:
     )
 
 
+def _add_apps_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "apps",
+        help="list the registered controller apps and their parameters",
+        description=(
+            "Controller apps are pluggable policies driven by the RAN "
+            "controller's event bus; select a stack per run with "
+            "--override controller.apps=name1,name2,... (see repro run)."
+        ),
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the app registry as JSON on stdout"
+    )
+
+
 def _add_simple_parser(subparsers, name: str, help_text: str) -> None:
     parser = subparsers.add_parser(name, help=help_text)
     parser.add_argument("--seed", type=int, default=None)
@@ -152,6 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_run_parser(subparsers)
     _add_scenarios_parser(subparsers)
+    _add_apps_parser(subparsers)
     _add_fig3_parser(subparsers)
     _add_simple_parser(subparsers, "grouping-ablation", "DDQN-K vs silhouette vs fixed-K grouping")
     _add_simple_parser(subparsers, "staleness-ablation", "accuracy vs digital-twin staleness")
@@ -291,6 +309,50 @@ def _scenarios_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apps_command(args: argparse.Namespace) -> int:
+    from repro.net.apps import DEFAULT_APP_STACK, app_names, get_app_class
+
+    entries = []
+    for name in app_names():
+        cls = get_app_class(name)
+        doc = (cls.__doc__ or "").strip().splitlines()
+        entries.append(
+            {
+                "name": name,
+                "default": name in DEFAULT_APP_STACK,
+                "params": {
+                    key: value for key, value in sorted(cls.default_params.items())
+                },
+                "description": doc[0] if doc else "",
+            }
+        )
+    if args.json:
+        print(json.dumps({"apps": entries, "default_stack": list(DEFAULT_APP_STACK)},
+                         indent=2, sort_keys=True))
+        return 0
+    print(
+        format_table(
+            ["name", "default", "params", "description"],
+            [
+                [
+                    entry["name"],
+                    "yes" if entry["default"] else "-",
+                    ", ".join(
+                        f"{key}={'inherit' if value is None else value}"
+                        for key, value in entry["params"].items()
+                    )
+                    or "-",
+                    entry["description"],
+                ]
+                for entry in entries
+            ],
+        )
+    )
+    print()
+    print(f"default stack: {', '.join(DEFAULT_APP_STACK)}")
+    return 0
+
+
 # ------------------------------------------------------------------ subcommands
 def _run_fig3(args: argparse.Namespace) -> int:
     result = run_fig3_experiment(
@@ -403,6 +465,7 @@ def _run_dataset(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "run": _run_scenario_command,
     "scenarios": _scenarios_command,
+    "apps": _apps_command,
     "fig3": _run_fig3,
     "grouping-ablation": _run_grouping,
     "staleness-ablation": _run_staleness,

@@ -16,9 +16,11 @@ videos.  The radio model here is a standard cellular downlink abstraction:
 * :mod:`repro.net.resources` -- resource-block accounting / allocation.
 * :mod:`repro.net.handover` -- hysteresis + time-to-trigger handover policy
   evaluated on batched mid-interval SNR samples.
-* :mod:`repro.net.controller` -- the event-driven multi-cell RAN controller
-  (user association, per-cell multicast group scoping, cross-cell
-  resource-block budget rebalancing).
+* :mod:`repro.net.controller` -- the event-driven multi-cell RAN
+  controller runtime (user association, per-cell state, scoped-id math,
+  event log).
+* :mod:`repro.net.apps` -- pluggable controller apps over that runtime
+  (A3 handover, cell scoping, budget rebalancing, weak-member demotion).
 """
 
 from repro.net.channel import ChannelConfig, ChannelModel, snr_db_to_linear, snr_linear_to_db
@@ -34,6 +36,15 @@ from repro.net.controller import (
     RanController,
     cell_utilization,
 )
+from repro.net.apps import (
+    AppEvent,
+    ControllerApp,
+    DEFAULT_APP_STACK,
+    app_names,
+    build_app_stack,
+    create_app,
+    register_app,
+)
 from repro.net.multicast import (
     MulticastChannel,
     MulticastScheduler,
@@ -43,8 +54,15 @@ from repro.net.multicast import (
 from repro.net.resources import ResourceBlockBudget, ResourceGrid
 
 __all__ = [
+    "AppEvent",
     "BaseStation",
     "BaseStationConfig",
+    "ControllerApp",
+    "DEFAULT_APP_STACK",
+    "app_names",
+    "build_app_stack",
+    "create_app",
+    "register_app",
     "CellLoadEvent",
     "CellState",
     "ChannelConfig",

@@ -1,0 +1,47 @@
+"""Pluggable controller apps over the RAN-controller runtime.
+
+See :mod:`repro.net.apps.base` for the framework (lifecycle, hooks,
+registry) and :mod:`repro.net.apps.builtin` for the built-in apps.
+"""
+
+from repro.net.apps.base import (
+    AppEvent,
+    ControllerApp,
+    DEFAULT_APP_STACK,
+    LoadContext,
+    MeasurementContext,
+    ScopeContext,
+    app_names,
+    build_app_stack,
+    create_app,
+    get_app_class,
+    normalize_app_entry,
+    register_app,
+)
+from repro.net.apps.builtin import (
+    A3HandoverApp,
+    CellScopingApp,
+    GreedyRebalanceApp,
+    ProRataRebalanceApp,
+    WeakMemberDemotionApp,
+)
+
+__all__ = [
+    "A3HandoverApp",
+    "AppEvent",
+    "CellScopingApp",
+    "ControllerApp",
+    "DEFAULT_APP_STACK",
+    "GreedyRebalanceApp",
+    "LoadContext",
+    "MeasurementContext",
+    "ProRataRebalanceApp",
+    "ScopeContext",
+    "WeakMemberDemotionApp",
+    "app_names",
+    "build_app_stack",
+    "create_app",
+    "get_app_class",
+    "normalize_app_entry",
+    "register_app",
+]

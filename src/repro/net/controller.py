@@ -1,4 +1,4 @@
-"""Event-driven multi-cell RAN controller.
+"""Event-driven multi-cell RAN controller runtime.
 
 The controller owns two pieces of network state the simulator used to treat
 as implicit: which cell serves each user, and how multicast groups map onto
@@ -15,8 +15,17 @@ time-ordered, logged stream:
   multicast channel is per-cell, so the worst-member rule is scoped to the
   serving base station,
 * :class:`CellLoadEvent` -- a cell's resource-block demand versus its
-  budget at the end of an interval, after which the controller rebalances
-  budgets from underloaded towards overloaded cells.
+  budget at the end of an interval,
+* :class:`~repro.net.apps.base.AppEvent` -- anything a controller app
+  emits (demotions, budget transfers, ...).
+
+:class:`RanController` itself is a thin *runtime*: association state,
+per-cell bookkeeping, scoped-id math and the event log.  Every policy --
+which handovers fire, how groups are scoped, how budgets rebalance -- lives
+in a pluggable :class:`~repro.net.apps.base.ControllerApp` attached to the
+runtime (see :mod:`repro.net.apps`).  The default app stack
+(``a3_handover``, ``cell_scoping``, ``prorata_rebalance``) reproduces the
+historical monolithic controller bit-for-bit.
 
 Everything is deterministic: the controller consumes no randomness, so for
 identical seeds the simulator produces the identical event sequence.
@@ -25,16 +34,14 @@ identical seeds the simulator produces the identical event sequence.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.net.handover import (
-    HandoverConfig,
-    HandoverPolicy,
-    StreakState,
-    measure_mean_snr,
-)
+from repro.net.handover import HandoverConfig, StreakState, measure_mean_snr
+
+if TYPE_CHECKING:  # imported lazily at runtime -- see RanController.__init__
+    from repro.net.apps.base import AppEvent
 
 
 @dataclass(frozen=True)
@@ -106,9 +113,10 @@ class ControllerConfig:
     """Controller parameters.
 
     ``overload_threshold`` / ``underload_threshold`` classify cells by
-    resource-block utilization; each interval the controller moves at most
-    ``rebalance_fraction`` of an underloaded cell's budget towards
-    overloaded cells (total budget is conserved).
+    resource-block utilization; each interval the rebalance app moves at
+    most ``rebalance_fraction`` of an underloaded cell's budget towards
+    overloaded cells (total budget is conserved).  Apps inherit these
+    values unless their per-app params override them.
     """
 
     handover: HandoverConfig = field(default_factory=HandoverConfig)
@@ -126,12 +134,20 @@ class ControllerConfig:
 
 
 class RanController:
-    """Owns user association and per-cell multicast group state."""
+    """Thin controller runtime: association, cell state, event log, apps.
+
+    ``apps`` selects the policy stack: ``None`` builds the default
+    (``a3_handover``, ``cell_scoping``, ``prorata_rebalance``), otherwise
+    pass a sequence of app names, ``(name, params)`` pairs,
+    ``{"name", "params"}`` mappings or live
+    :class:`~repro.net.apps.base.ControllerApp` instances.
+    """
 
     def __init__(
         self,
         base_stations: Sequence,
         config: Optional[ControllerConfig] = None,
+        apps: Optional[Sequence] = None,
     ) -> None:
         if not base_stations:
             raise ValueError("need at least one base station")
@@ -141,7 +157,6 @@ class RanController:
         if len(set(self.cell_ids)) != len(self.cell_ids):
             raise ValueError("base station ids must be unique")
         self._cell_index = {cid: index for index, cid in enumerate(self.cell_ids)}
-        self.policy = HandoverPolicy(self.config.handover)
         # Imported here, not at module level: repro.net must stay importable
         # without repro.sim (whose config imports repro.twin, which imports
         # repro.net -- a module-level import would close that cycle).
@@ -156,19 +171,53 @@ class RanController:
         self.handover_log: List[HandoverEvent] = []
         self.group_event_log: List[GroupScopeEvent] = []
         self.load_event_log: List[CellLoadEvent] = []
-        self._group_cells: Dict[int, FrozenSet[int]] = {}
+        self.app_event_log: List["AppEvent"] = []
         #: Cells flagged overloaded by the most recent load report, captured
         #: *before* budget rebalancing (which by construction pulls a cell
         #: back to the threshold whenever donors suffice — measuring after
         #: it would hide exactly the overloads the bias should react to).
         self._last_overloaded: FrozenSet[int] = frozenset()
-        #: Per-user A3 streaks carried across intervals, keyed *by user id*
-        #: (not by position): the population churns via attach/detach, and a
-        #: positional carry would silently apply one user's candidate/TTT
-        #: row to another after a mid-run removal.  Keyed carry keeps
-        #: time-to-trigger windows continuous across interval boundaries
-        #: for exactly the users that persist.
-        self._streaks: StreakState = StreakState.keyed([])
+        #: Bus-fired events buffered for the caller: scope events emitted
+        #: since the last drain (mid-interval re-scopes land here) and app
+        #: events of the current interval.
+        self._scope_fired: List[GroupScopeEvent] = []
+        self._app_fired: List["AppEvent"] = []
+        self._handover_sink: Optional[List[HandoverEvent]] = None
+        # Deferred import: repro.net.apps.builtin imports this module for
+        # the event dataclasses, so the apps package cannot be a module-
+        # level import here (and, as with EventQueue above, the runtime
+        # must stay importable without the app layer loaded).
+        from repro.net.apps import build_app_stack
+
+        self.apps = build_app_stack(apps)
+        for app in self.apps:
+            app.attach(self)
+
+    # ------------------------------------------------------------------- apps
+    def app(self, name: str):
+        """The first attached app with registry name ``name`` (or ``None``)."""
+        for app in self.apps:
+            if app.name == name:
+                return app
+        return None
+
+    @property
+    def policy(self):
+        """The A3 handover policy (compat accessor; ``None`` without the app)."""
+        app = self.app("a3_handover")
+        return app.policy if app is not None else None
+
+    @property
+    def _streaks(self) -> StreakState:
+        """The A3 app's carried streak state (compat accessor)."""
+        app = self.app("a3_handover")
+        return app._streaks if app is not None else StreakState.keyed([])
+
+    @property
+    def _group_cells(self) -> Dict[int, FrozenSet[int]]:
+        """The scoping app's per-group footprints (compat accessor)."""
+        app = self.app("cell_scoping")
+        return app._group_cells if app is not None else {}
 
     # ------------------------------------------------------------ association
     def attach_user(self, user_id: int, cell_id: int) -> None:
@@ -180,31 +229,32 @@ class RanController:
             self.cell_states[previous].served_users -= 1
         self.serving_cell[user_id] = cell_id
         self.cell_states[cell_id].served_users += 1
-        # Dropping the row resets the streak: the next evaluation's
-        # id-keyed remap backfills a fresh (-1, 0.0) entry for this user.
-        self._streaks = self._streaks.without(user_id)
+        for app in self.apps:
+            app.on_user_attached(user_id)
 
     def detach_user(self, user_id: int) -> None:
         if user_id not in self.serving_cell:
             raise KeyError(f"unknown user {user_id}")
         self.cell_states[self.serving_cell.pop(user_id)].served_users -= 1
-        self._streaks = self._streaks.without(user_id)
+        for app in self.apps:
+            app.on_user_detached(user_id)
 
     def users_of_cell(self, cell_id: int) -> List[int]:
         return sorted(uid for uid, cid in self.serving_cell.items() if cid == cell_id)
 
-    def cell_bias_db(self) -> Optional[np.ndarray]:
+    def cell_bias_db(self, bias_db: Optional[float] = None) -> Optional[np.ndarray]:
         """Load-aware handover bias per cell (``None`` when disabled).
 
         Every cell whose utilization (as of the most recent load report, or
         an operator budget override such as an outage drill) exceeds the
-        overload threshold is discounted by ``handover.load_bias_db``:
-        candidates on it need that much extra genuine margin, and its own
-        users leave it that much more readily.  With the default
-        ``load_bias_db == 0`` this returns ``None`` and the pure-SNR
-        decision sequence is preserved bit-for-bit.
+        overload threshold is discounted by ``bias_db`` (defaulting to
+        ``handover.load_bias_db``): candidates on it need that much extra
+        genuine margin, and its own users leave it that much more readily.
+        With the default ``load_bias_db == 0`` this returns ``None`` and
+        the pure-SNR decision sequence is preserved bit-for-bit.
         """
-        bias_db = self.config.handover.load_bias_db
+        if bias_db is None:
+            bias_db = self.config.handover.load_bias_db
         if bias_db <= 0:
             return None
         bias = np.zeros(len(self.cell_ids))
@@ -220,6 +270,18 @@ class RanController:
         return bias
 
     # -------------------------------------------------------------- handover
+    def measurement_times(self, start_s: float, end_s: float) -> np.ndarray:
+        """The interval's measurement grid: first app with an opinion wins.
+
+        Without a measurement-driven app (e.g. a stack with no
+        ``a3_handover``) the grid is empty and no handovers can fire.
+        """
+        for app in self.apps:
+            times = app.measurement_times(start_s, end_s)
+            if times is not None:
+                return np.asarray(times, dtype=float)
+        return np.zeros(0)
+
     def observe_interval(
         self,
         times_s: np.ndarray,
@@ -227,58 +289,55 @@ class RanController:
         user_ids: Sequence[int],
         end_s: float,
     ) -> List[HandoverEvent]:
-        """Evaluate the handover rule over one interval's measurements.
+        """Feed one interval's measurements to the apps and run the bus.
 
         ``positions`` has shape ``(times, users, 2)`` aligned with
-        ``user_ids``.  Triggered handovers are scheduled on the event bus at
-        their trigger times and applied (association + per-cell counters) as
-        the bus fires them; the fired events of this interval are returned.
+        ``user_ids``.  Apps schedule :class:`HandoverEvent` records on the
+        bus at their trigger times; the runtime applies them (association +
+        per-cell counters) as the bus fires and returns this interval's
+        fired events.
         """
         user_ids = list(user_ids)
         fired: List[HandoverEvent] = []
-        if user_ids and len(self.cell_ids) > 1 and np.asarray(times_s).size:
-            snr = measure_mean_snr(self.base_stations, positions)
-            serving_index = np.array(
-                [self._cell_index[self.serving_cell[uid]] for uid in user_ids]
-            )
-            # The carried state is remapped by user id inside evaluate(), so
-            # churn between intervals (attach/detach) never shifts one
-            # user's streak onto another's measurement column.
-            decisions, _, self._streaks = self.policy.evaluate(
-                times_s,
-                snr,
-                serving_index,
-                state=self._streaks,
-                user_ids=user_ids,
-                cell_bias_db=self.cell_bias_db(),
-            )
-            for decision in decisions:
-                event = HandoverEvent(
-                    time_s=decision.time_s,
-                    user_id=user_ids[decision.user_index],
-                    source_cell=self.cell_ids[decision.source_index],
-                    target_cell=self.cell_ids[decision.target_index],
-                    margin_db=decision.margin_db,
+        self._handover_sink = fired
+        try:
+            if user_ids and len(self.cell_ids) > 1 and np.asarray(times_s).size:
+                from repro.net.apps.base import MeasurementContext
+
+                snr = measure_mean_snr(self.base_stations, positions)
+                ctx = MeasurementContext(
+                    times_s=np.asarray(times_s, dtype=float),
+                    snr_db=snr,
+                    user_ids=user_ids,
+                    end_s=end_s,
                 )
-                self.events.schedule(
-                    event.time_s,
-                    name="handover",
-                    payload=event,
-                    callback=lambda event=event, fired=fired: self._apply_handover(
-                        event, fired
-                    ),
-                )
-        self.events.run_until(end_s)
+                for app in self.apps:
+                    app.on_measurement(ctx)
+            self.events.run_until(end_s)
+        finally:
+            self._handover_sink = None
         return fired
 
-    def _apply_handover(self, event: HandoverEvent, fired: List[HandoverEvent]) -> None:
+    def schedule_handover(self, event: HandoverEvent) -> None:
+        """Schedule an app-decided handover on the bus at its trigger time."""
+        self.events.schedule(
+            event.time_s,
+            name="handover",
+            payload=event,
+            callback=lambda event=event: self._apply_handover(event),
+        )
+
+    def _apply_handover(self, event: HandoverEvent) -> None:
         self.serving_cell[event.user_id] = event.target_cell
         self.cell_states[event.source_cell].served_users -= 1
         self.cell_states[event.source_cell].handovers_out += 1
         self.cell_states[event.target_cell].served_users += 1
         self.cell_states[event.target_cell].handovers_in += 1
         self.handover_log.append(event)
-        fired.append(event)
+        if self._handover_sink is not None:
+            self._handover_sink.append(event)
+        for app in self.apps:
+            app.on_handover(event)
 
     # ------------------------------------------------------- group management
     def scoped_group_id(self, logical_group_id: int, cell_id: int) -> int:
@@ -298,18 +357,10 @@ class RanController:
             by_cell.setdefault(self.serving_cell[uid], []).append(uid)
         return by_cell
 
-    def preview_scope(
+    def _split_grouping(
         self, grouping: Mapping[int, Sequence[int]]
     ) -> Tuple[Dict[int, List[int]], Dict[int, int]]:
-        """Non-mutating view of :meth:`scope_grouping`.
-
-        Returns the ``(scoped_grouping, cell_of_group)`` the next
-        :meth:`scope_grouping` call would produce under the current
-        associations, without emitting :class:`GroupScopeEvent` records or
-        updating the per-group footprint state.  The DT prediction layer
-        uses it to predict demand against the per-cell groups the simulator
-        will actually play.
-        """
+        """The pure per-cell split every scoping path starts from."""
         scoped: Dict[int, List[int]] = {}
         cell_of_group: Dict[int, int] = {}
         for logical_id, member_ids in grouping.items():
@@ -320,58 +371,102 @@ class RanController:
                 cell_of_group[scoped_id] = cell_id
         return scoped, cell_of_group
 
+    def preview_scope(
+        self,
+        grouping: Mapping[int, Sequence[int]],
+        time_s: float = 0.0,
+        mean_snr_db=None,
+    ) -> Tuple[Dict[int, List[int]], Dict[int, int]]:
+        """Non-mutating view of :meth:`scope_grouping`.
+
+        Returns the ``(scoped_grouping, cell_of_group)`` the next
+        :meth:`scope_grouping` call would produce under the current
+        associations, without emitting events or updating app state
+        (apps see ``ctx.preview=True``).  The DT prediction layer uses it
+        to predict demand against the per-cell groups the simulator will
+        actually play.
+        """
+        from repro.net.apps.base import ScopeContext
+
+        scoped, cell_of_group = self._split_grouping(grouping)
+        ctx = ScopeContext(
+            time_s=time_s,
+            grouping=grouping,
+            scoped=scoped,
+            cell_of_group=cell_of_group,
+            mean_snr_db=mean_snr_db,
+            preview=True,
+        )
+        for app in self.apps:
+            app.on_interval_start(ctx)
+        return scoped, cell_of_group
+
     def scope_grouping(
-        self, grouping: Mapping[int, Sequence[int]], time_s: float
+        self,
+        grouping: Mapping[int, Sequence[int]],
+        time_s: float,
+        mean_snr_db=None,
     ) -> Tuple[Dict[int, List[int]], Dict[int, int], List[GroupScopeEvent]]:
         """Split each logical group by its members' serving cells.
 
         A multicast channel exists per (group, cell): the worst-member rule
         only spans users the same base station transmits to.  Returns
         ``(scoped_grouping, cell_of_group, scope_events)`` where scoped ids
-        come from :meth:`scoped_group_id`.  Footprint changes versus the
-        previous interval are emitted as :class:`GroupScopeEvent` records
-        through the bus at ``time_s``.
+        come from :meth:`scoped_group_id`.  Apps observe (and may rewrite)
+        the scoped grouping via ``on_interval_start``; footprint changes
+        versus the previous interval are emitted as
+        :class:`GroupScopeEvent` records through the bus at ``time_s``.
         """
-        scoped: Dict[int, List[int]] = {}
-        cell_of_group: Dict[int, int] = {}
-        fired: List[GroupScopeEvent] = []
-        for logical_id, member_ids in grouping.items():
-            by_cell = self._split_by_cell(member_ids)
-            cells = frozenset(by_cell)
-            previous = self._group_cells.get(logical_id, frozenset())
-            kind = None
-            if not previous:
-                kind = "split" if len(cells) > 1 else None
-            elif len(cells) > len(previous):
-                kind = "split"
-            elif len(cells) < len(previous):
-                kind = "merge"
-            elif cells != previous:
-                kind = "move"
-            if kind is not None:
-                event = GroupScopeEvent(
-                    time_s=time_s,
-                    logical_group_id=logical_id,
-                    kind=kind,
-                    cells=tuple(sorted(cells)),
-                    previous_cells=tuple(sorted(previous)),
-                )
-                self.events.schedule(
-                    time_s,
-                    name=f"group_{kind}",
-                    payload=event,
-                    callback=lambda event=event, fired=fired: (
-                        self.group_event_log.append(event),
-                        fired.append(event),
-                    ),
-                )
-            self._group_cells[logical_id] = cells
-            for cell_id in sorted(by_cell):
-                scoped_id = self.scoped_group_id(logical_id, cell_id)
-                scoped[scoped_id] = by_cell[cell_id]
-                cell_of_group[scoped_id] = cell_id
+        from repro.net.apps.base import ScopeContext
+
+        scoped, cell_of_group = self._split_grouping(grouping)
+        ctx = ScopeContext(
+            time_s=time_s,
+            grouping=grouping,
+            scoped=scoped,
+            cell_of_group=cell_of_group,
+            mean_snr_db=mean_snr_db,
+            preview=False,
+        )
+        for app in self.apps:
+            app.on_interval_start(ctx)
         self.events.run_until(time_s)
-        return scoped, cell_of_group, fired
+        return scoped, cell_of_group, self.drain_scope_events()
+
+    def emit_scope_event(self, event: GroupScopeEvent) -> None:
+        """Schedule a scope event on the bus; fired events are logged and buffered."""
+        self.events.schedule(
+            event.time_s,
+            name=f"group_{event.kind}",
+            payload=event,
+            callback=lambda event=event: (
+                self.group_event_log.append(event),
+                self._scope_fired.append(event),
+            ),
+        )
+
+    def drain_scope_events(self) -> List[GroupScopeEvent]:
+        """Scope events fired since the last drain (mid-interval re-scopes included)."""
+        fired, self._scope_fired = self._scope_fired, []
+        return fired
+
+    # ------------------------------------------------------------- app events
+    def emit_app_event(self, event: AppEvent) -> None:
+        """Schedule an app event on the bus; fired events are logged and buffered."""
+        self.events.schedule(
+            event.time_s,
+            name=f"app:{event.app}:{event.name}",
+            payload=event,
+            callback=lambda event=event: (
+                self.app_event_log.append(event),
+                self._app_fired.append(event),
+            ),
+        )
+
+    def drain_app_events(self) -> List[AppEvent]:
+        """App events fired since the last drain."""
+        fired, self._app_fired = self._app_fired, []
+        return fired
 
     # --------------------------------------------------------- load balancing
     def set_cell_budget(self, cell_id: int, blocks: float) -> None:
@@ -392,13 +487,14 @@ class RanController:
         outage_by_cell: Mapping[int, int],
         time_s: float,
     ) -> Tuple[List[CellLoadEvent], Dict[int, float]]:
-        """Record per-cell load, emit load events and rebalance budgets.
+        """Record per-cell load, emit load events and run the end hooks.
 
         ``demand_by_cell`` carries each cell's finite resource-block demand
         of the interval that just ended; ``outage_by_cell`` the number of
         its groups whose demand was infinite (no decodable MCS).  Returns
         ``(load_events, utilization_by_cell)`` with utilization measured
-        against the pre-rebalance budgets.
+        against the pre-rebalance budgets; budget rebalancing itself is an
+        app concern (``on_interval_end``).
         """
         fired: List[CellLoadEvent] = []
         utilization: Dict[int, float] = {}
@@ -429,37 +525,18 @@ class RanController:
         self._last_overloaded = frozenset(
             event.cell_id for event in fired if event.overloaded
         )
-        self._rebalance_budgets()
+        from repro.net.apps.base import LoadContext
+
+        ctx = LoadContext(
+            time_s=time_s,
+            load_events=fired,
+            utilization=dict(utilization),
+            demand_by_cell=dict(demand_by_cell),
+            outage_by_cell=dict(outage_by_cell),
+        )
+        for app in self.apps:
+            app.on_interval_end(ctx)
+        # Fire anything the end hooks scheduled (e.g. budget-transfer app
+        # events); a second run_until at the same time is a no-op otherwise.
+        self.events.run_until(time_s)
         return fired, utilization
-
-    def _rebalance_budgets(self) -> None:
-        """Shift budget from underloaded towards overloaded cells.
-
-        An overloaded cell's deficit is the budget that would bring its
-        utilization back to the overload threshold; an underloaded cell
-        donates at most ``rebalance_fraction`` of its budget and never so
-        much that it would itself cross the overload threshold.  Transfers
-        are pro-rata on both sides, so the total budget is conserved.
-        """
-        over = self.config.overload_threshold
-        deficits: Dict[int, float] = {}
-        surpluses: Dict[int, float] = {}
-        for cell_id in self.cell_ids:
-            state = self.cell_states[cell_id]
-            utilization = state.utilization
-            if utilization > over:
-                deficits[cell_id] = state.rb_demand / over - state.rb_budget
-            elif utilization < self.config.underload_threshold:
-                headroom = state.rb_budget - state.rb_demand / over
-                surplus = min(self.config.rebalance_fraction * state.rb_budget, headroom)
-                if surplus > 0:
-                    surpluses[cell_id] = surplus
-        total_deficit = sum(deficits.values())
-        total_surplus = sum(surpluses.values())
-        transfer = min(total_deficit, total_surplus)
-        if transfer <= 0:
-            return
-        for cell_id, deficit in deficits.items():
-            self.cell_states[cell_id].rb_budget += transfer * deficit / total_deficit
-        for cell_id, surplus in surpluses.items():
-            self.cell_states[cell_id].rb_budget -= transfer * surplus / total_surplus

@@ -28,6 +28,7 @@ from repro.scenario.spec import (
     CatalogSpec,
     CellOutage,
     ChurnPhase,
+    ControllerAppSpec,
     ControllerSpec,
     EngineSpec,
     FlashCrowd,
@@ -47,6 +48,7 @@ __all__ = [
     "CellOutage",
     "ChurnPhase",
     "CompiledScenario",
+    "ControllerAppSpec",
     "ControllerSpec",
     "EngineSpec",
     "FlashCrowd",

@@ -79,6 +79,11 @@ def compile_spec(spec: ScenarioSpec) -> CompiledScenario:
         cell_overload_threshold=spec.controller.cell_overload_threshold,
         cell_underload_threshold=spec.controller.cell_underload_threshold,
         cell_rebalance_fraction=spec.controller.cell_rebalance_fraction,
+        controller_apps=(
+            tuple((app.name, dict(app.params)) for app in spec.controller.apps)
+            if spec.controller.apps
+            else None
+        ),
         recommendation_popularity_weight=spec.catalog.recommendation_popularity_weight,
         popularity_update_rate=spec.catalog.popularity_update_rate,
         swipe_gap_s=spec.catalog.swipe_gap_s,

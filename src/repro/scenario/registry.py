@@ -24,6 +24,7 @@ from repro.scenario.spec import (
     CatalogSpec,
     CellOutage,
     ChurnPhase,
+    ControllerAppSpec,
     ControllerSpec,
     EngineSpec,
     FlashCrowd,
@@ -271,4 +272,46 @@ def cell_outage_storm() -> ScenarioSpec:
             CellOutage(interval=4, cell="busiest", budget_blocks=0.0),
             BudgetChange(interval=6, cell=0, budget_blocks=100.0),
         ),
+    )
+
+
+@register_scenario
+def weak_signal_demotion() -> ScenarioSpec:
+    """Cell-edge users demoted to unicast before the worst-member rule prices them."""
+    return ScenarioSpec(
+        name="weak_signal_demotion",
+        description=(
+            "multicell_campus topology with a custom controller-app stack: "
+            "weak_member_demotion pulls cell-edge members (mean SNR below "
+            "30 dB) out of multicast groups into unicast before the "
+            "worst-member rule prices the group, and cell_scoping re-scopes "
+            "mid-interval on every handover."
+        ),
+        seed=17,
+        mode="playback",
+        num_intervals=6,
+        interval_s=300.0,
+        topology=TopologySpec(num_cells=4, area_width_m=1400.0, area_height_m=1100.0),
+        population=PopulationSpec(
+            num_users=48, favourite_category="News", favourite_user_fraction=0.5
+        ),
+        catalog=CatalogSpec(num_videos=80),
+        controller=ControllerSpec(
+            mode="handover",
+            apps=(
+                ControllerAppSpec(name="a3_handover"),
+                ControllerAppSpec(
+                    # 30 dB sits near the campus topology's 20th-percentile
+                    # mean SNR, so a handful of members demote per interval.
+                    name="weak_member_demotion",
+                    params={"rssi_threshold_db": 30.0},
+                ),
+                ControllerAppSpec(
+                    name="cell_scoping", params={"rescope_on_handover": True}
+                ),
+                ControllerAppSpec(name="prorata_rebalance"),
+            ),
+        ),
+        engine=EngineSpec(channel_draw_mode="fast"),
+        grouping=GroupingSpec(policy="preference", num_groups=4),
     )

@@ -301,9 +301,87 @@ class ScenarioRunner:
                     "overloaded_cells": sorted(
                         int(e.cell_id) for e in result.cell_load_events if e.overloaded
                     ),
+                    "controller_events": ScenarioRunner._controller_event_records(
+                        result
+                    ),
                 }
             )
         return fields
+
+    @staticmethod
+    def _controller_event_records(result: IntervalResult) -> List[dict]:
+        """The interval's controller event log as JSON-canonical tagged records.
+
+        Handover, group-scope, cell-load and app-emitted events are merged
+        into one list sorted by ``time_s`` (stable, so same-time events keep
+        their emission order).  Non-finite floats serialize as null.
+        """
+
+        def finite(value: float) -> Optional[float]:
+            value = float(value)
+            return value if np.isfinite(value) else None
+
+        def jsonify(value):
+            if isinstance(value, dict):
+                return {str(key): jsonify(val) for key, val in value.items()}
+            if isinstance(value, (list, tuple)):
+                return [jsonify(item) for item in value]
+            if isinstance(value, (bool, np.bool_)):
+                return bool(value)
+            if isinstance(value, (int, np.integer)):
+                return int(value)
+            if isinstance(value, (float, np.floating)):
+                return finite(value)
+            return value
+
+        records: List[dict] = []
+        for ho in result.handover_events:
+            records.append(
+                {
+                    "type": "handover",
+                    "time_s": float(ho.time_s),
+                    "user": int(ho.user_id),
+                    "source_cell": int(ho.source_cell),
+                    "target_cell": int(ho.target_cell),
+                    "margin_db": finite(ho.margin_db),
+                }
+            )
+        for scope in result.group_scope_events:
+            records.append(
+                {
+                    "type": "group_scope",
+                    "time_s": float(scope.time_s),
+                    "logical_group_id": int(scope.logical_group_id),
+                    "kind": str(scope.kind),
+                    "cells": [int(cell) for cell in scope.cells],
+                    "previous_cells": [int(cell) for cell in scope.previous_cells],
+                }
+            )
+        for load in result.cell_load_events:
+            records.append(
+                {
+                    "type": "cell_load",
+                    "time_s": float(load.time_s),
+                    "cell": int(load.cell_id),
+                    "demand_blocks": float(load.demand_blocks),
+                    "budget_blocks": float(load.budget_blocks),
+                    "utilization": finite(load.utilization),
+                    "overloaded": bool(load.overloaded),
+                    "outage_groups": int(load.outage_groups),
+                }
+            )
+        for app_event in result.app_events:
+            records.append(
+                {
+                    "type": "app",
+                    "time_s": float(app_event.time_s),
+                    "app": str(app_event.app),
+                    "name": str(app_event.name),
+                    "payload": jsonify(dict(app_event.payload)),
+                }
+            )
+        records.sort(key=lambda record: record["time_s"])
+        return records
 
     @staticmethod
     def _summary(

@@ -92,8 +92,35 @@ class MobilitySpec:
 
 
 @dataclass(frozen=True)
+class ControllerAppSpec:
+    """One controller app in :attr:`ControllerSpec.apps`.
+
+    ``name`` is the app's registry key (see :func:`repro.net.apps.app_names`)
+    and ``params`` its per-app knobs; unknown names or params fail fast at
+    spec construction / app build time.
+    """
+
+    name: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", dict(self.params))
+
+
+@dataclass(frozen=True)
 class ControllerSpec:
-    """RAN-controller mode and handover / load-balancing knobs."""
+    """RAN-controller mode, handover / load-balancing knobs and app stack.
+
+    ``apps`` selects the controller-app stack for ``mode="handover"`` (see
+    :mod:`repro.net.apps`): a tuple of :class:`ControllerAppSpec` entries
+    (bare names and ``{"name", "params"}`` mappings are coerced).  The
+    default empty tuple compiles to the built-in default stack
+    (``a3_handover``, ``cell_scoping``, ``prorata_rebalance``), which is
+    bit-identical to the historical monolithic controller.  The
+    ``handover_*`` knobs are the ``a3_handover`` app's inherited defaults
+    and the ``cell_*`` knobs those of the rebalance apps; per-app
+    ``params`` override them.
+    """
 
     mode: str = "boundary"
     handover_hysteresis_db: float = 3.0
@@ -105,6 +132,29 @@ class ControllerSpec:
     cell_overload_threshold: float = 0.9
     cell_underload_threshold: float = 0.5
     cell_rebalance_fraction: float = 0.25
+    apps: Tuple[ControllerAppSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "apps", tuple(_coerce_app_spec(entry) for entry in self.apps)
+        )
+
+
+def _coerce_app_spec(entry: Any) -> ControllerAppSpec:
+    if isinstance(entry, ControllerAppSpec):
+        return entry
+    if isinstance(entry, str):
+        return ControllerAppSpec(name=entry)
+    if isinstance(entry, Mapping):
+        extra = set(entry) - {"name", "params"}
+        if "name" not in entry or extra:
+            raise ValueError(
+                f"app entry mapping needs 'name' (+ optional 'params'), got {dict(entry)!r}"
+            )
+        return ControllerAppSpec(name=str(entry["name"]), params=entry.get("params") or {})
+    raise TypeError(
+        f"controller app entry must be a name, mapping or ControllerAppSpec, got {entry!r}"
+    )
 
 
 @dataclass(frozen=True)
@@ -266,6 +316,26 @@ class ScenarioSpec:
         for phase in self.population.churn_phases:
             if phase.start_interval < 0 or phase.end_interval <= phase.start_interval:
                 raise ValueError("churn phases need 0 <= start_interval < end_interval")
+        if self.controller.apps:
+            if self.controller.mode != "handover":
+                raise ValueError("controller.apps requires controller.mode='handover'")
+            # Imported lazily: repro.net.apps pulls in the controller module,
+            # and the spec layer must stay importable on its own.
+            from repro.net.apps import app_names, get_app_class
+
+            known = set(app_names())
+            for app in self.controller.apps:
+                if app.name not in known:
+                    raise ValueError(
+                        f"unknown controller app {app.name!r} (registered: "
+                        f"{', '.join(sorted(known))})"
+                    )
+                unknown = set(app.params) - set(get_app_class(app.name).default_params)
+                if unknown:
+                    raise ValueError(
+                        f"unknown params for controller app {app.name!r}: "
+                        f"{', '.join(sorted(unknown))}"
+                    )
 
     # ------------------------------------------------------------- overrides
     def with_overrides(self, overrides: Mapping[str, Any]) -> "ScenarioSpec":
@@ -273,10 +343,13 @@ class ScenarioSpec:
 
         ``overrides`` maps paths like ``"population.num_users"`` or
         top-level fields like ``"seed"`` to new values — the mechanism
-        behind the CLI's ``--override key=value``.  Unknown paths raise
-        ``KeyError``; tuple-structured fields (``timeline``,
-        ``population.churn_phases``) are not reachable this way, replace
-        them with :func:`dataclasses.replace` instead.
+        behind the CLI's ``--override key=value``.  List-valued fields
+        (``catalog.categories``, ``controller.apps``) accept a JSON list
+        or a comma-separated string (``controller.apps=a3_handover,
+        cell_scoping``).  Unknown paths raise ``KeyError``; event-
+        structured fields (``timeline``, ``population.churn_phases``)
+        are not reachable this way, replace them with
+        :func:`dataclasses.replace` instead.
         """
         spec = self
         for path, value in overrides.items():
@@ -297,6 +370,8 @@ class ScenarioSpec:
                 return payload
             if dataclasses.is_dataclass(obj):
                 return {f.name: convert(getattr(obj, f.name)) for f in fields(obj)}
+            if isinstance(obj, Mapping):
+                return {str(key): convert(val) for key, val in obj.items()}
             if isinstance(obj, tuple):
                 return [convert(item) for item in obj]
             return obj
@@ -312,7 +387,11 @@ def _replace_path(node: Any, parts, value: Any) -> Any:
         raise KeyError(f"unknown spec field {name!r}")
     if len(parts) == 1:
         current = getattr(node, name)
-        if dataclasses.is_dataclass(current) or isinstance(current, tuple):
+        if isinstance(current, tuple):
+            return dataclasses.replace(
+                node, **{name: _coerce_tuple_override(node, name, current, value)}
+            )
+        if dataclasses.is_dataclass(current):
             raise KeyError(
                 f"field {name!r} is structured; override its leaves instead"
             )
@@ -330,3 +409,46 @@ def _replace_path(node: Any, parts, value: Any) -> Any:
     return dataclasses.replace(
         node, **{name: _replace_path(getattr(node, name), parts[1:], value)}
     )
+
+
+#: Tuple fields whose elements are event/phase dataclasses; overriding them
+#: from a flat string would bypass their constructors, so they stay
+#: replace()-only.
+_STRUCTURED_TUPLE_FIELDS = {"timeline", "churn_phases"}
+
+
+def _coerce_tuple_override(node: Any, name: str, current: tuple, value: Any) -> tuple:
+    """Coerce an override value for a tuple-valued leaf field.
+
+    Accepts a JSON list (already parsed by the caller) or a comma-separated
+    string.  ``controller.apps`` entries pass through untouched —
+    :class:`ControllerSpec` coerces names/mappings to
+    :class:`ControllerAppSpec` — while scalar tuples (e.g.
+    ``catalog.categories``) have elements coerced to the current element
+    type.
+    """
+    if name in _STRUCTURED_TUPLE_FIELDS or (
+        current and dataclasses.is_dataclass(current[0]) and not isinstance(node, ControllerSpec)
+    ):
+        raise KeyError(
+            f"field {name!r} is structured; replace it with dataclasses.replace instead"
+        )
+    if isinstance(value, str):
+        items = tuple(part.strip() for part in value.split(",") if part.strip())
+    elif isinstance(value, (list, tuple)):
+        items = tuple(value)
+    else:
+        raise ValueError(
+            f"field {name!r} is list-valued; pass a JSON list or comma-separated string"
+        )
+    if isinstance(node, ControllerSpec) and name == "apps":
+        return items
+    if current:
+        elem = current[0]
+        if isinstance(elem, bool):
+            items = tuple(bool(item) for item in items)
+        elif isinstance(elem, int):
+            items = tuple(int(item) for item in items)
+        elif isinstance(elem, float):
+            items = tuple(float(item) for item in items)
+    return items

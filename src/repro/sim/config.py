@@ -79,6 +79,13 @@ class SimulationConfig:
     #: samples, per-cell multicast group scoping and cross-cell
     #: resource-block budget rebalancing.
     controller_mode: str = "boundary"
+    #: Controller-app stack for ``controller_mode="handover"``: a sequence
+    #: of app names, ``(name, params)`` pairs or ``{"name", "params"}``
+    #: mappings (see :mod:`repro.net.apps`), normalised to ``(name,
+    #: params)`` tuples.  ``None`` (default) builds the default stack
+    #: (``a3_handover``, ``cell_scoping``, ``prorata_rebalance``), which
+    #: reproduces the pre-framework monolithic controller bit-for-bit.
+    controller_apps: Optional[Sequence] = None
     handover_hysteresis_db: float = 3.0
     handover_time_to_trigger_s: float = 10.0
     handover_sample_period_s: float = 5.0
@@ -146,6 +153,24 @@ class SimulationConfig:
                 "compat/fast modes consume one shared generator and cannot be "
                 "sharded without changing results"
             )
+        if self.controller_apps is not None:
+            if self.controller_mode != "handover":
+                raise ValueError("controller_apps requires controller_mode='handover'")
+            # Imported lazily: repro.net.apps pulls in repro.net.controller,
+            # which must stay importable without repro.sim at module level.
+            from repro.net.apps import app_names, normalize_app_entry
+
+            known = set(app_names())
+            normalized = []
+            for entry in self.controller_apps:
+                name, params = normalize_app_entry(entry)
+                if name not in known:
+                    raise ValueError(
+                        f"unknown controller app {name!r} (registered: "
+                        f"{', '.join(sorted(known))})"
+                    )
+                normalized.append((name, params))
+            self.controller_apps = tuple(normalized)
         if self.handover_hysteresis_db < 0 or self.handover_time_to_trigger_s < 0:
             raise ValueError("handover hysteresis and time-to-trigger must be non-negative")
         if self.handover_load_bias_db < 0:

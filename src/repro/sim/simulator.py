@@ -37,6 +37,7 @@ from repro.edge.server import EdgeServer, EdgeServerConfig
 from repro.mobility.campus import CampusConfig, CampusMap
 from repro.mobility.trajectory import GraphTrajectoryMobility, MobilityModel
 from repro.net.basestation import BaseStation, BaseStationConfig, place_base_stations
+from repro.net.apps import AppEvent
 from repro.net.controller import (
     CellLoadEvent,
     ControllerConfig,
@@ -103,6 +104,7 @@ class IntervalResult:
     handover_events: List[HandoverEvent] = field(default_factory=list)
     group_scope_events: List[GroupScopeEvent] = field(default_factory=list)
     cell_load_events: List[CellLoadEvent] = field(default_factory=list)
+    app_events: List[AppEvent] = field(default_factory=list)
     rb_utilization_by_cell: Dict[int, float] = field(default_factory=dict)
     rb_budget_by_cell: Dict[int, float] = field(default_factory=dict)
 
@@ -407,6 +409,7 @@ class StreamingSimulator:
                     underload_threshold=config.cell_underload_threshold,
                     rebalance_fraction=config.cell_rebalance_fraction,
                 ),
+                apps=config.controller_apps,
             )
             for user_id, user in self.users.items():
                 self.controller.attach_user(user_id, user.serving_bs_id)
@@ -773,7 +776,10 @@ class StreamingSimulator:
         """
         if self.controller is None:
             return {gid: list(members) for gid, members in grouping.items()}, {}
-        return self.controller.preview_scope(grouping)
+        start_s, _ = self.clock.interval_bounds(self.clock.current_interval)
+        return self.controller.preview_scope(
+            grouping, time_s=start_s, mean_snr_db=self._controller_mean_snr(start_s)
+        )
 
     def run_interval(self, grouping: Mapping[int, Sequence[int]]) -> IntervalResult:
         """Play out the next reservation interval under ``grouping``.
@@ -797,7 +803,9 @@ class StreamingSimulator:
             # logical group is scoped per serving cell, because a multicast
             # channel -- and the worst-member rule -- spans one cell only.
             scoped, cell_of_group, scope_events = self.controller.scope_grouping(
-                grouping, time_s=start_s
+                grouping,
+                time_s=start_s,
+                mean_snr_db=self._controller_mean_snr(start_s),
             )
             played_grouping = scoped
             result.cell_of_group = cell_of_group
@@ -957,6 +965,27 @@ class StreamingSimulator:
                 for video_id, transmitted in requests
             ]
 
+    def _controller_mean_snr(self, time_s: float):
+        """Lazy per-user serving-cell mean-SNR lookup for controller apps.
+
+        Returns ``user_ids -> {user_id: mean SNR dB towards the serving
+        cell at time_s}``.  Deterministic (mean SNR draws no randomness),
+        so the preview and playback scoping paths agree exactly.
+        """
+        def lookup(user_ids) -> Dict[int, float]:
+            controller = self.controller
+            by_id = {bs.bs_id: bs for bs in self.base_stations}
+            return {
+                uid: float(
+                    by_id[controller.serving_cell[uid]].mean_snr_db(
+                        self.users[uid].mobility.position(time_s)
+                    )
+                )
+                for uid in user_ids
+            }
+
+        return lookup
+
     def _run_controller_phase(
         self, result: IntervalResult, start_s: float, end_s: float
     ) -> None:
@@ -967,7 +996,7 @@ class StreamingSimulator:
         # Handover: one batched position query per user over the interval's
         # measurement grid, one mean-SNR tensor, no randomness consumed.
         user_ids = self.user_ids()
-        times = controller.policy.measurement_times(start_s, end_s)
+        times = controller.measurement_times(start_s, end_s)
         if user_ids and times.size:
             positions = np.stack(
                 [self.users[uid].mobility.positions(times) for uid in user_ids], axis=1
@@ -994,6 +1023,11 @@ class StreamingSimulator:
         # available via controller.rb_budget_by_cell().
         result.rb_budget_by_cell = {e.cell_id: e.budget_blocks for e in load_events}
 
+        # Scope events fired after the interval-start scoping (mid-interval
+        # re-scopes on handover) and the interval's app events.
+        result.group_scope_events.extend(controller.drain_scope_events())
+        result.app_events = controller.drain_app_events()
+
         splits = sum(1 for e in result.group_scope_events if e.kind == "split")
         merges = sum(1 for e in result.group_scope_events if e.kind == "merge")
         moves = sum(1 for e in result.group_scope_events if e.kind == "move")
@@ -1004,6 +1038,7 @@ class StreamingSimulator:
         self.metrics.record(
             "ran.cells_overloaded", float(sum(1 for e in load_events if e.overloaded))
         )
+        self.metrics.record("ran.app_events", float(len(result.app_events)))
         for event in load_events:
             if np.isfinite(event.utilization):
                 self.metrics.record(
