@@ -430,6 +430,14 @@ class DTResourcePredictionScheme:
         """
         grouping, profiles, predictions = self.predict_next_interval()
         cell_of_group = self._last_cell_of_group
+        if self.simulator.placement is not None:
+            # Predictive placement packs against exactly the per-group
+            # computing demand the twin predicted for this interval
+            # (predictions are keyed by the scoped group ids the interval
+            # will play).
+            self.simulator.placement.set_forecast(
+                {gid: p.computing_cycles for gid, p in predictions.items()}
+            )
         actual = self.simulator.run_interval(grouping.groups())
         predicted_radio = GroupDemandPredictor.total_radio_blocks(predictions)
         predicted_compute = GroupDemandPredictor.total_computing_cycles(predictions)

@@ -46,17 +46,24 @@ class ReservationPolicy:
         if self.floor_blocks < 0.0:
             raise ValueError("floor_blocks must be non-negative")
 
-    def radio_request(self, prediction: GroupDemandPrediction) -> float:
-        """Resource blocks to reserve for one group."""
-        blocks = prediction.radio_resource_blocks
+    def blocks_request(self, blocks: float) -> float:
+        """Apply margin / floor / quantisation to a raw block demand.
+
+        Shared by :meth:`radio_request` (per-group predictions) and the
+        horizon reservation planner (per-cell aggregate demand).
+        """
         if not np.isfinite(blocks):
-            # Group in predicted outage: reserve the floor and let the
-            # scheduler fall back to the lowest representation.
+            # Predicted outage: reserve the floor and let the scheduler
+            # fall back to the lowest representation.
             blocks = self.floor_blocks
         request = max(blocks * self.margin, self.floor_blocks)
         if self.quantise:
             request = float(math.ceil(request))
         return request
+
+    def radio_request(self, prediction: GroupDemandPrediction) -> float:
+        """Resource blocks to reserve for one group."""
+        return self.blocks_request(prediction.radio_resource_blocks)
 
     def compute_request(self, prediction: GroupDemandPrediction) -> float:
         """CPU cycles to reserve for one group's transcoding."""

@@ -1,0 +1,233 @@
+"""Predictive job-to-server packing: dominant-remaining-resource vs first-fit.
+
+The planner assigns jobs (one per multicast group: its transcoding CPU
+demand plus its cache working set) to edge servers against each job's
+predicted :class:`~repro.placement.demand.DemandSeries`.  Two strategies:
+
+* ``"drr"`` — dominant-remaining-resource packing in the Elasecutor
+  style: jobs are placed largest-dominant-demand first, and each job goes
+  to the server whose *post-placement* dominant resource utilization
+  (peak over the horizon, max over CPU/cache) is smallest.  This balances
+  the dominant resource across the fleet and keeps the two resources
+  even within a server, minimizing stranded ("fragmented") capacity.
+* ``"first_fit"`` — the naive baseline for A/B comparisons: jobs in id
+  order onto the first server with room, which piles load onto low ids
+  and strands capacity on the rest of the fleet.
+
+Packing is deterministic (sorted iteration, no RNG) so a placement-enabled
+run stays reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.placement.demand import DemandSeries
+
+#: Registered packing strategies, in documentation order.
+PLACEMENT_STRATEGIES = ("drr", "first_fit")
+
+
+@dataclass(frozen=True)
+class ServerCapacity:
+    """Per-interval capacity of one edge server, in job-demand units."""
+
+    cpu_cycles_per_interval: float
+    cache_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.cpu_cycles_per_interval <= 0 or self.cache_bytes <= 0:
+            raise ValueError("server capacities must be positive")
+
+
+class PlacementPlanner:
+    """Packs per-group jobs onto a fleet of edge servers.
+
+    ``pinned`` assignments (groups already running on a server) are kept in
+    place and only contribute load; packing decides the *unpinned* jobs.
+    A job that fits nowhere is still placed — on the least-loaded server —
+    because a multicast group cannot be dropped; overload then shows up in
+    the utilization/fragmentation series instead of being hidden.
+    """
+
+    def __init__(
+        self, capacities: Sequence[ServerCapacity], strategy: str = "drr"
+    ) -> None:
+        if not capacities:
+            raise ValueError("placement needs at least one server")
+        if strategy not in PLACEMENT_STRATEGIES:
+            raise ValueError(
+                f"unknown placement strategy {strategy!r} "
+                f"(known: {', '.join(PLACEMENT_STRATEGIES)})"
+            )
+        self.capacities = list(capacities)
+        self.strategy = strategy
+
+    @property
+    def num_servers(self) -> int:
+        return len(self.capacities)
+
+    # ---------------------------------------------------------------- packing
+    def pack(
+        self,
+        demands: Mapping[int, DemandSeries],
+        pinned: Optional[Mapping[int, int]] = None,
+    ) -> Dict[int, int]:
+        """Assign every job in ``demands`` to a server; returns job → server."""
+        pinned = dict(pinned or {})
+        horizon = max((d.horizon for d in demands.values()), default=1)
+        # Per-server projected load over the horizon, seeded by pinned jobs.
+        cpu_load = np.zeros((self.num_servers, horizon))
+        cache_load = np.zeros((self.num_servers, horizon))
+        assignment: Dict[int, int] = {}
+        for job_id, server in sorted(pinned.items()):
+            if job_id not in demands:
+                continue
+            server = int(server) % self.num_servers
+            self._add_load(cpu_load, cache_load, server, demands[job_id])
+            assignment[job_id] = server
+
+        free = [job_id for job_id in demands if job_id not in assignment]
+        if self.strategy == "drr":
+            # Largest dominant demand first: big jobs get placed while the
+            # fleet is still even, small ones fill the gaps.
+            free.sort(
+                key=lambda jid: (-self._dominant_demand(demands[jid]), jid)
+            )
+            for job_id in free:
+                server = self._best_drr_server(cpu_load, cache_load, demands[job_id])
+                self._add_load(cpu_load, cache_load, server, demands[job_id])
+                assignment[job_id] = server
+        else:
+            for job_id in sorted(free):
+                server = self._first_fit_server(cpu_load, cache_load, demands[job_id])
+                self._add_load(cpu_load, cache_load, server, demands[job_id])
+                assignment[job_id] = server
+        return assignment
+
+    def place_one(
+        self,
+        demand: DemandSeries,
+        demands: Mapping[int, DemandSeries],
+        assignment: Mapping[int, int],
+        exclude: Optional[int] = None,
+    ) -> int:
+        """Best server for a single (re)placed job, given the current layout.
+
+        ``assignment``/``demands`` describe the jobs already running;
+        ``exclude`` removes the job's own current server load share (the
+        job being migrated) from consideration as a load contribution.
+        """
+        horizon = max(demand.horizon, max((d.horizon for d in demands.values()), default=1))
+        cpu_load = np.zeros((self.num_servers, horizon))
+        cache_load = np.zeros((self.num_servers, horizon))
+        for job_id, server in assignment.items():
+            if job_id == exclude or job_id not in demands:
+                continue
+            self._add_load(cpu_load, cache_load, int(server) % self.num_servers, demands[job_id])
+        if self.strategy == "drr":
+            return self._best_drr_server(cpu_load, cache_load, demand)
+        return self._first_fit_server(cpu_load, cache_load, demand)
+
+    # ----------------------------------------------------------- inner rules
+    def _add_load(
+        self,
+        cpu_load: np.ndarray,
+        cache_load: np.ndarray,
+        server: int,
+        demand: DemandSeries,
+    ) -> None:
+        steps = min(demand.horizon, cpu_load.shape[1])
+        cpu_load[server, :steps] += demand.cpu_cycles[:steps]
+        cache_load[server, :steps] += demand.cache_bytes[:steps]
+
+    def _utilizations(
+        self, cpu_load: np.ndarray, cache_load: np.ndarray, server: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        cap = self.capacities[server]
+        return (
+            cpu_load[server] / cap.cpu_cycles_per_interval,
+            cache_load[server] / cap.cache_bytes,
+        )
+
+    def _dominant_demand(self, demand: DemandSeries) -> float:
+        """Largest demand-to-mean-capacity ratio over resources (job size)."""
+        mean_cpu = float(
+            np.mean([c.cpu_cycles_per_interval for c in self.capacities])
+        )
+        mean_cache = float(np.mean([c.cache_bytes for c in self.capacities]))
+        return max(
+            demand.peak_cpu_cycles / mean_cpu, demand.peak_cache_bytes / mean_cache
+        )
+
+    def _post_placement_drr(
+        self,
+        cpu_load: np.ndarray,
+        cache_load: np.ndarray,
+        server: int,
+        demand: DemandSeries,
+    ) -> float:
+        """Dominant utilization of ``server`` if the job were placed there."""
+        cap = self.capacities[server]
+        steps = min(demand.horizon, cpu_load.shape[1])
+        cpu = cpu_load[server].copy()
+        cache = cache_load[server].copy()
+        cpu[:steps] += demand.cpu_cycles[:steps]
+        cache[:steps] += demand.cache_bytes[:steps]
+        return float(
+            max(
+                cpu.max() / cap.cpu_cycles_per_interval,
+                cache.max() / cap.cache_bytes,
+            )
+        )
+
+    def _best_drr_server(
+        self, cpu_load: np.ndarray, cache_load: np.ndarray, demand: DemandSeries
+    ) -> int:
+        scores = [
+            self._post_placement_drr(cpu_load, cache_load, server, demand)
+            for server in range(self.num_servers)
+        ]
+        return int(np.argmin(scores))
+
+    def _first_fit_server(
+        self, cpu_load: np.ndarray, cache_load: np.ndarray, demand: DemandSeries
+    ) -> int:
+        for server in range(self.num_servers):
+            if self._post_placement_drr(cpu_load, cache_load, server, demand) <= 1.0:
+                return server
+        # Nothing fits: overflow to the currently least-loaded server.
+        scores = [
+            max(self._utilizations(cpu_load, cache_load, server)[0].max(initial=0.0),
+                self._utilizations(cpu_load, cache_load, server)[1].max(initial=0.0))
+            for server in range(self.num_servers)
+        ]
+        return int(np.argmin(scores))
+
+
+def fragmentation_index(
+    cpu_utilization: Sequence[float], cache_utilization: Sequence[float]
+) -> float:
+    """Stranded-capacity score of one fleet snapshot (lower is better).
+
+    Two additive terms, both zero for a perfectly packed fleet:
+
+    * *imbalance* — the spread (population standard deviation) of dominant
+      utilization across servers: capacity idling on one server while
+      another is saturated cannot be used by a job that needs one
+      contiguous home;
+    * *skew* — the mean per-server gap between the dominant and the other
+      resource: a server whose CPU is exhausted while its cache sits empty
+      has unusable cache capacity, and vice versa.
+    """
+    cpu = np.asarray(cpu_utilization, dtype=float)
+    cache = np.asarray(cache_utilization, dtype=float)
+    if cpu.shape != cache.shape or cpu.size == 0:
+        raise ValueError("need equal-length, non-empty utilization vectors")
+    dominant = np.maximum(cpu, cache)
+    imbalance = float(dominant.std())
+    skew = float(np.mean(dominant - np.minimum(cpu, cache)))
+    return imbalance + skew

@@ -30,11 +30,13 @@ from repro.scenario.spec import (
     ChurnPhase,
     ControllerAppSpec,
     ControllerSpec,
+    EdgeSpec,
     EngineSpec,
     FlashCrowd,
     GroupingSpec,
     MassDeparture,
     MobilitySpec,
+    PlacementSpec,
     PopulationSpec,
     ScenarioEvent,
     ScenarioSpec,
@@ -50,11 +52,13 @@ __all__ = [
     "CompiledScenario",
     "ControllerAppSpec",
     "ControllerSpec",
+    "EdgeSpec",
     "EngineSpec",
     "FlashCrowd",
     "GroupingSpec",
     "MassDeparture",
     "MobilitySpec",
+    "PlacementSpec",
     "PopulationSpec",
     "RunResult",
     "ScenarioEvent",

@@ -84,6 +84,15 @@ def compile_spec(spec: ScenarioSpec) -> CompiledScenario:
             if spec.controller.apps
             else None
         ),
+        edge_servers=spec.edge.num_servers,
+        cache_capacity_gbytes=spec.edge.cache_capacity_gbytes,
+        cpu_capacity_cycles_per_s=spec.edge.cpu_capacity_cycles_per_s,
+        cycles_per_pixel=spec.edge.cycles_per_pixel,
+        remote_fetch_penalty_s=spec.edge.remote_fetch_penalty_s,
+        placement_strategy=spec.placement.strategy,
+        placement_horizon=spec.placement.horizon_intervals,
+        placement_mispredict_threshold=spec.placement.mispredict_threshold,
+        placement_reprovision=spec.placement.reprovision,
         recommendation_popularity_weight=spec.catalog.recommendation_popularity_weight,
         popularity_update_rate=spec.catalog.popularity_update_rate,
         swipe_gap_s=spec.catalog.swipe_gap_s,

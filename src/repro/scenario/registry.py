@@ -26,10 +26,12 @@ from repro.scenario.spec import (
     ChurnPhase,
     ControllerAppSpec,
     ControllerSpec,
+    EdgeSpec,
     EngineSpec,
     FlashCrowd,
     GroupingSpec,
     MassDeparture,
+    PlacementSpec,
     PopulationSpec,
     ScenarioSpec,
     SchemeSpec,
@@ -314,4 +316,48 @@ def weak_signal_demotion() -> ScenarioSpec:
         ),
         engine=EngineSpec(channel_draw_mode="fast"),
         grouping=GroupingSpec(policy="preference", num_groups=4),
+    )
+
+
+@register_scenario
+def edge_flash_crowd() -> ScenarioSpec:
+    """Predictive edge placement stressed by a flash crowd (PR 7 tentpole demo)."""
+    return ScenarioSpec(
+        name="edge_flash_crowd",
+        description=(
+            "A 3-server edge fleet under DRR predictive placement and "
+            "2-interval horizon reservation: a flash crowd doubles the "
+            "population at interval 3, the demand forecasters mispredict, "
+            "and reprovision events migrate hot groups across the fleet."
+        ),
+        seed=11,
+        mode="playback",
+        num_intervals=6,
+        interval_s=150.0,
+        topology=TopologySpec(num_cells=4, area_width_m=1200.0, area_height_m=900.0),
+        population=PopulationSpec(
+            num_users=24,
+            favourite_category="News",
+            favourite_user_fraction=0.5,
+        ),
+        catalog=CatalogSpec(num_videos=60),
+        controller=ControllerSpec(mode="handover"),
+        engine=EngineSpec(channel_draw_mode="fast"),
+        grouping=GroupingSpec(policy="preference", num_groups=6),
+        edge=EdgeSpec(
+            num_servers=3,
+            # Deliberately CPU-starved servers (3e9 cycles per 150 s
+            # interval) so per-group transcode jobs are *large* relative to
+            # capacity: packing quality becomes visible in the utilization
+            # and fragmentation series instead of rounding to zero.
+            cpu_capacity_cycles_per_s=2.0e7,
+            cache_capacity_gbytes=2.0,
+        ),
+        placement=PlacementSpec(
+            strategy="drr",
+            horizon_intervals=3,
+            mispredict_threshold=0.5,
+            reservation_lead_intervals=2,
+        ),
+        timeline=(FlashCrowd(interval=3, arrivals=24, favourite="Sports"),),
     )

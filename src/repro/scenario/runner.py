@@ -20,6 +20,8 @@ import numpy as np
 
 from repro.core import DTResourcePredictionScheme
 from repro.core.pipeline import EvaluationResult
+from repro.core.reservation import ReservationPolicy
+from repro.placement.horizon import DemandShock, HorizonReservationPlanner
 from repro.scenario.compiler import CompiledScenario, compile_spec
 from repro.scenario.spec import (
     BudgetChange,
@@ -45,6 +47,49 @@ SCENARIO_CHURN_STREAM = 101
 MIN_POPULATION = 2
 
 
+def timeline_demand_shocks(timeline) -> tuple:
+    """Translate a spec timeline into placement-layer :class:`DemandShock`\\ s.
+
+    The horizon reservation planner lives below the scenario layer and
+    must not import spec event types; this is the one place the two
+    vocabularies meet.  ``"busiest"`` cell targets cannot be resolved from
+    the spec alone and translate to ``cell=None`` (demand displacement is
+    still anticipated, the budget change is not).
+    """
+    shocks = []
+    for event in timeline:
+        if isinstance(event, FlashCrowd):
+            shocks.append(
+                DemandShock(
+                    interval=event.interval,
+                    kind="flash_crowd",
+                    magnitude=float(event.arrivals),
+                )
+            )
+        elif isinstance(event, MassDeparture):
+            shocks.append(
+                DemandShock(
+                    interval=event.interval,
+                    kind="mass_departure",
+                    magnitude=float(event.departures),
+                )
+            )
+        elif isinstance(event, (CellOutage, BudgetChange)):
+            shocks.append(
+                DemandShock(
+                    interval=event.interval,
+                    kind=(
+                        "cell_outage"
+                        if isinstance(event, CellOutage)
+                        else "budget_change"
+                    ),
+                    cell=event.cell if isinstance(event.cell, int) else None,
+                    budget_blocks=float(event.budget_blocks),
+                )
+            )
+    return tuple(shocks)
+
+
 @dataclass
 class RunResult:
     """Typed outcome of one scenario run.
@@ -68,16 +113,24 @@ class RunResult:
     intervals: List[dict] = field(default_factory=list)
     summary: Dict[str, object] = field(default_factory=dict)
     per_cell: Dict[str, Dict[str, List[float]]] = field(default_factory=dict)
+    #: Per-server fleet series (``utilization`` / ``cycles`` keyed by server
+    #: id, plus the fleet-wide ``fragmentation`` series).  Populated — and
+    #: exported — only for multi-server or placement-enabled runs, so
+    #: single-server exports stay bit-identical to their goldens.
+    per_server: Dict[str, Dict[str, List[Optional[float]]]] = field(default_factory=dict)
     spec: Optional[dict] = None
     evaluation: Optional[EvaluationResult] = None
     interval_results: Optional[List[IntervalResult]] = None
     #: The simulator the run used (worker pool already closed; its twins,
     #: catalog and metrics stay readable).  Python-side only, not exported.
     simulator: Optional["StreamingSimulator"] = None
+    #: The horizon reservation planner, when the spec enabled one
+    #: (``placement.reservation_lead_intervals > 0``).  Python-side only.
+    horizon: Optional[HorizonReservationPlanner] = None
 
     def to_dict(self) -> dict:
         """JSON-canonical export: ``json.loads(json.dumps(d)) == d``."""
-        return {
+        exported = {
             "scenario": self.scenario,
             "mode": self.mode,
             "seed": int(self.seed),
@@ -89,6 +142,11 @@ class RunResult:
             "per_cell": {key: dict(series) for key, series in self.per_cell.items()},
             "spec": self.spec,
         }
+        if self.per_server:
+            exported["per_server"] = {
+                key: dict(series) for key, series in self.per_server.items()
+            }
+        return exported
 
 
 class ScenarioRunner:
@@ -108,6 +166,7 @@ class ScenarioRunner:
         records: List[dict] = []
         evaluation: Optional[EvaluationResult] = None
         raw_results: List[IntervalResult] = []
+        horizon = self._build_horizon()
         with simulator:
             if spec.mode == "scheme":
                 scheme = DTResourcePredictionScheme(
@@ -129,6 +188,10 @@ class ScenarioRunner:
                             simulator, interval_eval.actual, arrivals, departures, applied
                         )
                     )
+                    if horizon is not None:
+                        record["horizon_bookings"] = self._horizon_step(
+                            horizon, simulator, interval_eval.actual, step
+                        )
                     records.append(record)
             else:
                 for step in range(spec.num_intervals):
@@ -147,6 +210,10 @@ class ScenarioRunner:
                             simulator, result, arrivals, departures, applied
                         )
                     )
+                    if horizon is not None:
+                        record["horizon_bookings"] = self._horizon_step(
+                            horizon, simulator, result, step
+                        )
                     records.append(record)
         elapsed = time.perf_counter() - started
 
@@ -157,14 +224,51 @@ class ScenarioRunner:
             num_intervals=spec.num_intervals,
             elapsed_s=elapsed,
             intervals=records,
-            summary=self._summary(evaluation, raw_results),
+            summary=self._summary(evaluation, raw_results, simulator, horizon),
             per_cell=self._per_cell_series(evaluation, raw_results),
+            per_server=self._per_server_series(simulator, raw_results),
             spec=spec.to_dict(),
             evaluation=evaluation,
             interval_results=raw_results,
             simulator=simulator,
+            horizon=horizon,
         )
         return run_result
+
+    # --------------------------------------------------- horizon reservation
+    def _build_horizon(self) -> Optional[HorizonReservationPlanner]:
+        """The spec's horizon reservation planner, if it enabled one."""
+        placement = self.spec.placement
+        if placement.reservation_lead_intervals <= 0:
+            return None
+        return HorizonReservationPlanner(
+            shocks=timeline_demand_shocks(self.spec.timeline),
+            num_cells=self.spec.topology.num_cells,
+            budget_blocks=self.spec.topology.rb_budget_blocks,
+            num_users=self.spec.population.num_users,
+            lead_intervals=placement.reservation_lead_intervals,
+            policy=ReservationPolicy(margin=placement.reservation_margin),
+        )
+
+    @staticmethod
+    def _horizon_step(
+        horizon: HorizonReservationPlanner,
+        simulator: StreamingSimulator,
+        result: IntervalResult,
+        step: int,
+    ) -> List[dict]:
+        """Audit the step's bookings, then book the upcoming intervals."""
+        horizon.update_population(len(simulator.users))
+        demand = result.rb_demand_by_cell or {0: result.total_resource_blocks}
+        horizon.observe(
+            step,
+            {
+                int(cell): float(value)
+                for cell, value in demand.items()
+                if np.isfinite(value)
+            },
+        )
+        return [booking.to_record() for booking in horizon.plan(step)]
 
     # ------------------------------------------------------------ step script
     def _apply_step_script(self, simulator: StreamingSimulator, step: int):
@@ -306,6 +410,29 @@ class ScenarioRunner:
                     ),
                 }
             )
+        if simulator.placement is not None:
+            fields.update(
+                {
+                    "server_of_group": {
+                        str(gid): int(server)
+                        for gid, server in sorted(result.server_of_group.items())
+                    },
+                    "edge_utilization_by_server": {
+                        str(server): float(value)
+                        for server, value in sorted(
+                            result.edge_utilization_by_server.items()
+                        )
+                    },
+                    "edge_fragmentation": (
+                        float(result.edge_fragmentation)
+                        if result.edge_fragmentation is not None
+                        else None
+                    ),
+                    "placement_events": [
+                        event.to_record() for event in result.placement_events
+                    ],
+                }
+            )
         return fields
 
     @staticmethod
@@ -385,7 +512,10 @@ class ScenarioRunner:
 
     @staticmethod
     def _summary(
-        evaluation: Optional[EvaluationResult], raw_results: List[IntervalResult]
+        evaluation: Optional[EvaluationResult],
+        raw_results: List[IntervalResult],
+        simulator: Optional[StreamingSimulator] = None,
+        horizon: Optional[HorizonReservationPlanner] = None,
     ) -> Dict[str, object]:
         summary: Dict[str, object] = {}
         if evaluation is not None and evaluation.intervals:
@@ -404,7 +534,87 @@ class ScenarioRunner:
                 "total_outage_groups",
                 int(sum(len(r.outage_groups) for r in raw_results)),
             )
+        if simulator is not None and raw_results:
+            fleet = simulator.edge_fleet
+            fleet_utilization = [
+                float(sum(r.edge_utilization_by_server.values())) / fleet.num_servers
+                for r in raw_results
+            ]
+            summary["edge"] = {
+                "num_servers": int(fleet.num_servers),
+                "total_cycles": float(
+                    sum(
+                        sum(r.edge_utilization_by_server.values())
+                        * simulator.config.cpu_capacity_cycles_per_s
+                        * simulator.config.interval_s
+                        for r in raw_results
+                    )
+                ),
+                "mean_utilization": float(np.mean(fleet_utilization)),
+                "peak_utilization": float(np.max(fleet_utilization)),
+                "cache_misses": int(sum(r.edge_cache_misses for r in raw_results)),
+                "cache": fleet.cache_stats(),
+            }
+            if simulator.placement is not None:
+                fragmentation = [
+                    float(r.edge_fragmentation)
+                    for r in raw_results
+                    if r.edge_fragmentation is not None
+                ]
+                summary["placement"] = {
+                    "strategy": str(simulator.config.placement_strategy),
+                    "reprovision": bool(simulator.config.placement_reprovision),
+                    "reprovision_events": int(simulator.placement.total_reprovisions()),
+                    "migrations": int(simulator.placement.total_migrations()),
+                    "mean_fragmentation": (
+                        float(np.mean(fragmentation)) if fragmentation else None
+                    ),
+                }
+        if horizon is not None:
+            summary["reservation"] = horizon.summary()
         return summary
+
+    @staticmethod
+    def _per_server_series(
+        simulator: StreamingSimulator, raw_results: List[IntervalResult]
+    ) -> Dict[str, Dict[str, List[Optional[float]]]]:
+        """Per-server utilization/cycles + fleet fragmentation series.
+
+        Empty (and therefore absent from the export) for single-server runs
+        without a placement strategy, keeping their goldens bit-identical.
+        """
+        if simulator.edge_fleet.num_servers <= 1 and simulator.placement is None:
+            return {}
+        capacity = (
+            simulator.config.cpu_capacity_cycles_per_s * simulator.config.interval_s
+        )
+        servers = range(simulator.edge_fleet.num_servers)
+        return {
+            "utilization": {
+                str(server): [
+                    float(r.edge_utilization_by_server.get(server, 0.0))
+                    for r in raw_results
+                ]
+                for server in servers
+            },
+            "cycles": {
+                str(server): [
+                    float(r.edge_utilization_by_server.get(server, 0.0)) * capacity
+                    for r in raw_results
+                ]
+                for server in servers
+            },
+            "fragmentation": {
+                "fleet": [
+                    (
+                        float(r.edge_fragmentation)
+                        if r.edge_fragmentation is not None
+                        else None
+                    )
+                    for r in raw_results
+                ]
+            },
+        }
 
     @staticmethod
     def _per_cell_series(

@@ -158,6 +158,75 @@ def _coerce_app_spec(entry: Any) -> ControllerAppSpec:
 
 
 @dataclass(frozen=True)
+class EdgeSpec:
+    """The edge-server fleet: how many servers, and each server's build.
+
+    Defaults equal the historical single hard-wired
+    :class:`~repro.edge.server.EdgeServerConfig`, so a default spec
+    compiles (and runs) bit-for-bit like the pre-fleet simulator.
+    """
+
+    num_servers: int = 1
+    cache_capacity_gbytes: float = 8.0
+    cpu_capacity_cycles_per_s: float = 3.0e9 * 16
+    cycles_per_pixel: float = 12.0
+    remote_fetch_penalty_s: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.num_servers < 1:
+            raise ValueError("edge.num_servers must be at least 1")
+        if self.cache_capacity_gbytes <= 0 or self.cpu_capacity_cycles_per_s <= 0:
+            raise ValueError("edge cache and CPU capacities must be positive")
+        if self.remote_fetch_penalty_s < 0:
+            raise ValueError("edge.remote_fetch_penalty_s must be non-negative")
+
+
+@dataclass(frozen=True)
+class PlacementSpec:
+    """Predictive placement + horizon reservation (see :mod:`repro.placement`).
+
+    ``strategy=None`` (default) disables placement entirely: every group
+    runs on edge server 0, exactly the pre-fleet behaviour.  ``"drr"``
+    packs jobs by dominant remaining resource against forecast demand and
+    fires mispredict :class:`~repro.placement.manager.ReprovisionEvent`\\ s;
+    ``"first_fit"`` is the naive A/B baseline.
+    ``reservation_lead_intervals > 0`` additionally books per-cell radio
+    blocks that many intervals ahead of the scripted timeline
+    (:class:`~repro.placement.horizon.HorizonReservationPlanner`).
+    """
+
+    strategy: Optional[str] = None
+    horizon_intervals: int = 3
+    mispredict_threshold: float = 0.5
+    reprovision: bool = True
+    reservation_lead_intervals: int = 0
+    reservation_margin: float = 1.1
+
+    def __post_init__(self) -> None:
+        if self.strategy is not None:
+            # Imported lazily, like the controller-app check: the spec layer
+            # must stay importable on its own.
+            from repro.placement.planner import PLACEMENT_STRATEGIES
+
+            if self.strategy not in PLACEMENT_STRATEGIES:
+                raise ValueError(
+                    f"placement.strategy must be one of "
+                    f"{', '.join(PLACEMENT_STRATEGIES)} (or None to disable), "
+                    f"got {self.strategy!r}"
+                )
+        if self.horizon_intervals < 1:
+            raise ValueError("placement.horizon_intervals must be at least 1")
+        if self.mispredict_threshold <= 0:
+            raise ValueError("placement.mispredict_threshold must be positive")
+        if self.reservation_lead_intervals < 0:
+            raise ValueError(
+                "placement.reservation_lead_intervals must be non-negative"
+            )
+        if self.reservation_margin < 1.0:
+            raise ValueError("placement.reservation_margin must be at least 1.0")
+
+
+@dataclass(frozen=True)
 class EngineSpec:
     """Per-interval engine selection and twin-collection imperfections.
 
@@ -292,6 +361,8 @@ class ScenarioSpec:
     engine: EngineSpec = field(default_factory=EngineSpec)
     scheme: SchemeSpec = field(default_factory=SchemeSpec)
     grouping: GroupingSpec = field(default_factory=GroupingSpec)
+    edge: EdgeSpec = field(default_factory=EdgeSpec)
+    placement: PlacementSpec = field(default_factory=PlacementSpec)
     timeline: Tuple[ScenarioEvent, ...] = ()
 
     def __post_init__(self) -> None:
@@ -316,6 +387,11 @@ class ScenarioSpec:
         for phase in self.population.churn_phases:
             if phase.start_interval < 0 or phase.end_interval <= phase.start_interval:
                 raise ValueError("churn phases need 0 <= start_interval < end_interval")
+        if self.placement.strategy is None and self.edge.num_servers > 1:
+            raise ValueError(
+                "edge.num_servers > 1 requires a placement.strategy: without "
+                "one every group runs on server 0 and the extra servers sit idle"
+            )
         if self.controller.apps:
             if self.controller.mode != "handover":
                 raise ValueError("controller.apps requires controller.mode='handover'")

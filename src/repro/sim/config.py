@@ -97,9 +97,26 @@ class SimulationConfig:
     cell_underload_threshold: float = 0.5
     cell_rebalance_fraction: float = 0.25
 
-    # Edge server.
+    # Edge fleet (see repro.edge.server / repro.placement).  The per-server
+    # EdgeServerConfig fields are lifted here so cache size and CPU capacity
+    # are configurable (and spec-overridable) without code edits; defaults
+    # equal the EdgeServerConfig defaults, so a default config compiles to
+    # the historical single hard-wired server bit-for-bit.
+    edge_servers: int = 1
     cache_capacity_gbytes: float = 8.0
+    cpu_capacity_cycles_per_s: float = 3.0e9 * 16  # 16 cores at 3 GHz
     cycles_per_pixel: float = 12.0
+    remote_fetch_penalty_s: float = 0.2
+
+    # Predictive placement (repro.placement).  ``None`` disables placement:
+    # every group runs on server 0 exactly like the pre-fleet simulator.
+    # ``"drr"`` packs by dominant remaining resource, ``"first_fit"`` is the
+    # naive A/B baseline.  A multi-server fleet needs a strategy — without
+    # one the extra servers would sit idle.
+    placement_strategy: Optional[str] = None
+    placement_horizon: int = 3
+    placement_mispredict_threshold: float = 0.5
+    placement_reprovision: bool = True
 
     # Viewing behaviour.
     swipe_gap_s: float = 0.5
@@ -183,6 +200,31 @@ class SimulationConfig:
             )
         if not 0.0 <= self.cell_rebalance_fraction <= 1.0:
             raise ValueError("cell_rebalance_fraction must be in [0, 1]")
+        if self.edge_servers < 1:
+            raise ValueError("edge_servers must be at least 1")
+        if self.cache_capacity_gbytes <= 0 or self.cpu_capacity_cycles_per_s <= 0:
+            raise ValueError("edge cache and CPU capacities must be positive")
+        if self.remote_fetch_penalty_s < 0:
+            raise ValueError("remote_fetch_penalty_s must be non-negative")
+        if self.placement_strategy is not None:
+            # Imported lazily: repro.placement imports repro.sim.events.
+            from repro.placement.planner import PLACEMENT_STRATEGIES
+
+            if self.placement_strategy not in PLACEMENT_STRATEGIES:
+                raise ValueError(
+                    f"placement_strategy must be one of "
+                    f"{', '.join(PLACEMENT_STRATEGIES)} (or None to disable), "
+                    f"got {self.placement_strategy!r}"
+                )
+        elif self.edge_servers > 1:
+            raise ValueError(
+                "edge_servers > 1 requires a placement_strategy: without one "
+                "every group runs on server 0 and the extra servers sit idle"
+            )
+        if self.placement_horizon < 1:
+            raise ValueError("placement_horizon must be at least 1")
+        if self.placement_mispredict_threshold <= 0:
+            raise ValueError("placement_mispredict_threshold must be positive")
         if not 0.0 <= self.popularity_update_rate <= 1.0:
             raise ValueError("popularity_update_rate must be in [0, 1]")
         if self.feature_steps <= 0:

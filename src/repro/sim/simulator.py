@@ -34,6 +34,9 @@ from repro.behavior.preference import PreferenceModel, PreferenceVector, random_
 from repro.behavior.session import ViewingEvent
 from repro.behavior.watching import WatchingDurationModel, WatchRecord
 from repro.edge.server import EdgeServer, EdgeServerConfig
+from repro.placement.fleet import EdgeFleet
+from repro.placement.manager import PlacementConfig, PlacementManager, ReprovisionEvent
+from repro.placement.planner import ServerCapacity, fragmentation_index
 from repro.mobility.campus import CampusConfig, CampusMap
 from repro.mobility.trajectory import GraphTrajectoryMobility, MobilityModel
 from repro.net.basestation import BaseStation, BaseStationConfig, place_base_stations
@@ -107,6 +110,14 @@ class IntervalResult:
     app_events: List[AppEvent] = field(default_factory=list)
     rb_utilization_by_cell: Dict[int, float] = field(default_factory=dict)
     rb_budget_by_cell: Dict[int, float] = field(default_factory=dict)
+    #: Edge-fleet outputs (``placement_*`` fields stay empty unless a
+    #: placement strategy is configured; ``edge_*`` fields are always set).
+    server_of_group: Dict[int, int] = field(default_factory=dict)
+    edge_utilization_by_server: Dict[int, float] = field(default_factory=dict)
+    edge_cache_misses: int = 0
+    #: Fleet fragmentation snapshot (``None`` for a single-server fleet).
+    edge_fragmentation: Optional[float] = None
+    placement_events: List[ReprovisionEvent] = field(default_factory=list)
 
     @property
     def num_handovers(self) -> int:
@@ -414,15 +425,37 @@ class StreamingSimulator:
             for user_id, user in self.users.items():
                 self.controller.attach_user(user_id, user.serving_bs_id)
 
-        # Edge server.
-        self.edge = EdgeServer(
-            self.catalog,
-            EdgeServerConfig(
-                cache_capacity_gbytes=config.cache_capacity_gbytes,
-                cycles_per_pixel=config.cycles_per_pixel,
-            ),
+        # Edge fleet.  One server with no placement strategy (the default)
+        # behaves bit-for-bit like the historical hard-wired EdgeServer:
+        # every group routes to server 0 in grouping order, so the cache
+        # walk and cycle accounting are unchanged.
+        edge_config = EdgeServerConfig(
+            cache_capacity_gbytes=config.cache_capacity_gbytes,
+            cpu_capacity_cycles_per_s=config.cpu_capacity_cycles_per_s,
+            cycles_per_pixel=config.cycles_per_pixel,
+            remote_fetch_penalty_s=config.remote_fetch_penalty_s,
         )
-        self.edge.warm_cache()
+        self.edge_fleet = EdgeFleet(
+            self.catalog, [edge_config] * config.edge_servers
+        )
+        self.edge_fleet.warm_caches()
+        self.placement: Optional[PlacementManager] = None
+        if config.placement_strategy is not None:
+            capacity = ServerCapacity(
+                cpu_cycles_per_interval=(
+                    config.cpu_capacity_cycles_per_s * config.interval_s
+                ),
+                cache_bytes=config.cache_capacity_gbytes * 1e9,
+            )
+            self.placement = PlacementManager(
+                [capacity] * config.edge_servers,
+                PlacementConfig(
+                    strategy=config.placement_strategy,
+                    horizon_intervals=config.placement_horizon,
+                    mispredict_threshold=config.placement_mispredict_threshold,
+                    reprovision=config.placement_reprovision,
+                ),
+            )
 
         # Digital twins.  The serving-cell attribute is only collected when
         # the RAN controller is active, so boundary-mode twins keep their
@@ -443,6 +476,17 @@ class StreamingSimulator:
         self.clock = SimulationClock(interval_s=config.interval_s)
         self.metrics = MetricRecorder()
         self.history: List[IntervalResult] = []
+
+    # ------------------------------------------------------------------ edge
+    @property
+    def edge(self) -> EdgeServer:
+        """The first edge server — the whole fleet when ``edge_servers=1``.
+
+        Kept for the single-server consumers (benchmarks, examples) that
+        predate the fleet; multi-server runs should read
+        :attr:`edge_fleet` instead.
+        """
+        return self.edge_fleet.servers[0]
 
     # ----------------------------------------------------------- rng streams
     @property
@@ -814,6 +858,17 @@ class StreamingSimulator:
         events_by_user: Dict[int, List[ViewingEvent]] = {uid: [] for uid in self.users}
         transcode_requests: Dict[int, List[tuple]] = {}
 
+        # Predictive placement packs the interval's groups onto the fleet
+        # *before* playback (reservation semantics: the assignment is made
+        # from forecast demand, not observed demand).  Placement never
+        # touches the simulator's random streams, so playback draws are
+        # identical with or without it.
+        assignment: Optional[Dict[int, int]] = None
+        if self.placement is not None:
+            assignment = self.placement.begin_interval(
+                interval_index, list(played_grouping.keys()), time_s=start_s
+            )
+
         # Grouped draw mode runs the per-group-stream engine (serial or
         # process-sharded, identical results either way).  Fast mode runs
         # the staged shared-generator engine: one SNR tensor per base
@@ -858,10 +913,29 @@ class StreamingSimulator:
                 )
                 result.usage_by_group[group_id] = usage
 
-        # Edge transcoding for all groups of this interval.
-        compute_usage = self.edge.process_interval(interval_index, transcode_requests, time_s=start_s)
+        # Edge transcoding for all groups of this interval, routed over the
+        # fleet (all groups on server 0 when placement is disabled — the
+        # historical single-server behaviour).
+        compute_usage = self.edge_fleet.process_interval(
+            interval_index, transcode_requests, assignment=assignment, time_s=start_s
+        )
         for group_id, cycles in compute_usage.cycles_by_group.items():
             result.usage_by_group[group_id].computing_cycles = float(cycles)
+        result.server_of_group = dict(compute_usage.server_of_group)
+        result.edge_cache_misses = compute_usage.cache_misses
+        cycles_by_server = compute_usage.cycles_by_server()
+        result.edge_utilization_by_server = {
+            server: cycles
+            / (self.config.cpu_capacity_cycles_per_s * self.config.interval_s)
+            for server, cycles in cycles_by_server.items()
+        }
+        if self.placement is not None:
+            result.placement_events = self.placement.observe_interval(
+                interval_index,
+                compute_usage.cycles_by_group,
+                compute_usage.cache_bytes_by_group,
+                time_s=end_s,
+            )
 
         # Digital-twin collection and behavioural updates.
         self._collect_status(events_by_user, start_s, end_s)
@@ -881,6 +955,33 @@ class StreamingSimulator:
         self.metrics.record("radio.outage_groups", float(len(result.outage_groups)))
         self.metrics.record("compute.total_cycles", result.total_computing_cycles)
         self.metrics.record("traffic.total_bits", result.total_traffic_bits)
+        # Edge/compute accounting: the per-group cycles were always computed
+        # but never surfaced as edge metrics before the fleet existed.
+        self.metrics.record("edge.total_cycles", compute_usage.total_cycles)
+        self.metrics.record(
+            "edge.utilization",
+            compute_usage.total_cycles
+            / (
+                self.edge_fleet.total_capacity_cycles_per_s()
+                * self.config.interval_s
+            ),
+        )
+        self.metrics.record("edge.cache_misses", float(compute_usage.cache_misses))
+        if self.edge_fleet.num_servers > 1:
+            cpu_utils = [
+                result.edge_utilization_by_server.get(server, 0.0)
+                for server in range(self.edge_fleet.num_servers)
+            ]
+            cache_utils = [
+                self.edge_fleet.cache_utilization_by_server()[server]
+                for server in range(self.edge_fleet.num_servers)
+            ]
+            result.edge_fragmentation = fragmentation_index(cpu_utils, cache_utils)
+            self.metrics.record("edge.fragmentation", result.edge_fragmentation)
+        if self.placement is not None:
+            self.metrics.record(
+                "placement.reprovision_events", float(len(result.placement_events))
+            )
         self.clock.advance_interval()
         return result
 

@@ -88,15 +88,29 @@ class TestAppRegistry:
 
 
 # ----------------------------------------------------------- golden parity
+#: Keys added by later PRs on top of the pinned export shape; the digest
+#: excludes them so the *pre-existing* payload stays byte-identical.
+_ADDITIVE_INTERVAL_KEYS = {"controller_events"}
+_ADDITIVE_SUMMARY_KEYS = {"edge", "placement", "reservation"}
+
+
 def _run_digest(name: str, num_intervals: int) -> tuple:
     result = run_scenario(name, {"num_intervals": num_intervals})
     data = result.to_dict()
     payload = {
         "intervals": [
-            {key: value for key, value in record.items() if key != "controller_events"}
+            {
+                key: value
+                for key, value in record.items()
+                if key not in _ADDITIVE_INTERVAL_KEYS
+            }
             for record in data["intervals"]
         ],
-        "summary": data["summary"],
+        "summary": {
+            key: value
+            for key, value in data["summary"].items()
+            if key not in _ADDITIVE_SUMMARY_KEYS
+        },
         "per_cell": data.get("per_cell"),
     }
     digest = hashlib.sha256(

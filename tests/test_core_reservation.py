@@ -58,6 +58,19 @@ class TestReservationPolicy:
         with pytest.raises(ValueError):
             ReservationPolicy(margin=0.9)
 
+    def test_radio_request_delegates_to_blocks_request(self):
+        policy = ReservationPolicy(margin=1.3, floor_blocks=2.0, quantise=True)
+        for blocks in (0.1, 7.0, 49.5, float("inf")):
+            assert policy.radio_request(make_prediction(blocks)) == (
+                policy.blocks_request(blocks)
+            )
+
+    def test_blocks_request_on_raw_demand(self):
+        policy = ReservationPolicy(margin=1.1, floor_blocks=1.0, quantise=True)
+        assert policy.blocks_request(10.0) == pytest.approx(11.0)
+        assert policy.blocks_request(0.0) == pytest.approx(1.0)
+        assert policy.blocks_request(float("nan")) == pytest.approx(2.0)
+
 
 class TestAdmissionController:
     def test_requests_within_budget_granted(self):
@@ -83,6 +96,37 @@ class TestAdmissionController:
     def test_invalid_budget(self):
         with pytest.raises(ValueError):
             AdmissionController(0.0)
+
+    def test_conservation_over_random_request_sets(self):
+        """Admission never grants more than requested, nor above the budget,
+        and proportional scale-down keeps every group's share ratio equal."""
+        rng = np.random.default_rng(99)
+        for _ in range(50):
+            budget = float(rng.uniform(10.0, 200.0))
+            controller = AdmissionController(budget)
+            requests = {
+                gid: float(rng.uniform(0.0, 80.0)) for gid in range(rng.integers(1, 8))
+            }
+            result = controller.admit(requests)
+            assert result.total_granted <= budget + 1e-9
+            for gid, granted in result.granted.items():
+                assert 0.0 <= granted <= requests[gid] + 1e-9
+            if result.scaled_down:
+                assert result.total_granted == pytest.approx(budget)
+                ratios = {
+                    granted / requests[gid]
+                    for gid, granted in result.granted.items()
+                    if requests[gid] > 1e-9
+                }
+                assert max(ratios) - min(ratios) < 1e-9
+            else:
+                assert result.granted == pytest.approx(requests)
+
+    def test_negative_requests_clamped_to_zero(self):
+        controller = AdmissionController(10.0)
+        result = controller.admit({0: -5.0, 1: 4.0})
+        assert result.granted[0] == 0.0
+        assert result.granted[1] == pytest.approx(4.0)
 
 
 class TestReservationPlanner:

@@ -62,6 +62,45 @@ class TestVideoCache:
         with pytest.raises(ValueError):
             VideoCache(capacity_bytes=0.0)
 
+    def test_eviction_follows_strict_lru_order(self, small_catalog):
+        # Two large videos fill the cache; the small third one displaces
+        # exactly the least-recently-used of the two.
+        videos = sorted(small_catalog, key=video_size_bytes, reverse=True)
+        big_a, big_b, small = videos[0], videos[1], videos[-1]
+        capacity = video_size_bytes(big_a) + video_size_bytes(big_b) + 1.0
+        cache = VideoCache(capacity_bytes=capacity)
+        cache.insert(big_a, time_s=0.0)
+        cache.insert(big_b, time_s=1.0)
+        cache.access(big_a.video_id, time_s=2.0)  # big_b is now the LRU entry
+        cache.insert(small, time_s=3.0)
+        assert big_a.video_id in cache
+        assert big_b.video_id not in cache
+        assert small.video_id in cache
+        assert cache.stats.evictions == 1
+
+    def test_reinsert_refreshes_recency(self, small_catalog):
+        videos = sorted(small_catalog, key=video_size_bytes, reverse=True)
+        big_a, big_b, small = videos[0], videos[1], videos[-1]
+        capacity = video_size_bytes(big_a) + video_size_bytes(big_b) + 1.0
+        cache = VideoCache(capacity_bytes=capacity)
+        cache.insert(big_a, time_s=0.0)
+        cache.insert(big_b, time_s=1.0)
+        cache.insert(big_a, time_s=2.0)  # reinsert must refresh, not duplicate
+        assert len(cache) == 2
+        cache.insert(small, time_s=3.0)
+        assert big_a.video_id in cache, "reinserted entry must be most recent"
+        assert big_b.video_id not in cache
+
+    def test_warm_skips_videos_larger_than_free_space(self, small_catalog):
+        videos = sorted(small_catalog, key=video_size_bytes, reverse=True)
+        # Room for the smallest video only: warming the popularity list must
+        # skip the over-sized ones without evicting what is already cached.
+        cache = VideoCache(capacity_bytes=video_size_bytes(videos[-1]) + 1.0)
+        cached = cache.warm_with_popular(videos)
+        assert cached == 1
+        assert videos[-1].video_id in cache
+        assert cache.stats.evictions == 0
+
 
 class TestTranscoding:
     def test_job_cycles_scale_with_duration(self, small_catalog):
