@@ -31,6 +31,16 @@ machine's ``cpu_count``; the >=1.5x speedup assertion at 1000 users / 4
 workers only gates when the machine actually has >= 4 cores — on fewer
 cores the sweep still runs and records the honest (likely flat) numbers.
 
+PR 8 extends the sweep to the **full-interval sharded engine**
+(``shard_stages="full"``, the grouped default): every stage of an interval
+— channel draws, playback, status collection — runs on the worker pool over
+shared-memory plan buffers, and workers keep population state (mobility,
+preferences) resident between tasks.  The large sweep times one warm plus
+one timed interval at 10k/50k/100k users, recording per-stage seconds
+(``stage1_s``/``playback_s``/``collection_s`` from ``IntervalResult.timing``),
+``cpu_count`` and peak RSS (self + children) per run — honest numbers even
+on machines where extra workers cannot pay for themselves.
+
 Run standalone (``PYTHONPATH=src python benchmarks/bench_scale_population.py``)
 or under pytest-benchmark like the other benches.  ``--quick`` runs a
 CI-sized smoke variant (small populations, no legacy comparison) and writes
@@ -41,6 +51,7 @@ committed full record untouched.
 from __future__ import annotations
 
 import os
+import resource
 import sys
 import time
 from typing import Dict, List, Sequence
@@ -68,6 +79,13 @@ WORKER_SPEEDUP_WORKERS = 4
 MIN_SPEEDUP = 5.0
 MIN_BATCHED_SPEEDUP = 1.1
 SEED = 7
+#: The PR 8 large sweep: ``(users, worker counts)`` pairs.  10k carries a
+#: serial baseline; 50k/100k run sharded-only (a serial interval at 100k
+#: would roughly double the bench's wall clock for one datapoint).
+LARGE_POPULATIONS = ((10_000, (1, 2)), (50_000, (2,)), (100_000, (2,)))
+LARGE_INTERVAL_S = 60.0
+LARGE_GROUP_SIZE = 100
+STAGE_KEYS = ("stage1_s", "playback_s", "collection_s")
 
 
 # --------------------------------------------------------------- legacy path
@@ -135,7 +153,7 @@ def _legacy_collect_interval(sim: StreamingSimulator):
     collector = sim.collector
 
     def collect(udt, mobility, base_station, preference, events, start_s, end_s,
-                rng=None, serving_cell=None):
+                rng=None, keep_rng=None, serving_cell=None):
         rng = rng if rng is not None else collector._rng
         delay = collector.policy.delay_s
         if CHANNEL_CONDITION in udt.attributes:
@@ -412,6 +430,7 @@ def playback_workers_experiment(
     sweep: dict = {"cpu_count": cpu_count, "populations": {}}
     for users in populations:
         timings: Dict[int, float] = {}
+        stage_by_workers: Dict[int, Dict[str, float]] = {}
         totals_by_workers: Dict[int, list] = {}
         for worker_count in workers:
             sim = _worker_sweep_simulator(users, worker_count)
@@ -419,6 +438,7 @@ def playback_workers_experiment(
                 grouping = _multicast_grouping(sim)
                 sim.run_interval(grouping)  # warm: pool start + mobility legs
                 totals = []
+                stages = {key: 0.0 for key in STAGE_KEYS}
                 started = time.perf_counter()
                 for _ in range(intervals):
                     result = sim.run_interval(grouping)
@@ -429,7 +449,10 @@ def playback_workers_experiment(
                             result.total_computing_cycles,
                         )
                     )
+                    for key in STAGE_KEYS:
+                        stages[key] += result.timing.get(key, 0.0)
                 timings[worker_count] = time.perf_counter() - started
+                stage_by_workers[worker_count] = stages
                 totals_by_workers[worker_count] = totals
             finally:
                 sim.close()
@@ -455,8 +478,87 @@ def playback_workers_experiment(
                     serial_elapsed_s=serial,
                     speedup=speedups[worker_count],
                     totals_identical=totals_identical,
+                    stage_timings=stage_by_workers[worker_count],
                 )
             )
+    return sweep
+
+
+def _peak_rss_mb() -> float:
+    """Peak resident set of this process plus reaped children, in MiB.
+
+    ``ru_maxrss`` is kilobytes on Linux; children covers the worker pool
+    (workers are reaped when ``close()`` joins the pool, so sample after).
+    """
+    own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return (own + children) / 1024.0
+
+
+def large_population_experiment(
+    records: List[dict],
+    populations=LARGE_POPULATIONS,
+    intervals: int = 1,
+) -> dict:
+    """The PR 8 scale sweep: full-shard intervals at 10k/50k/100k users.
+
+    One warm interval (pool spin-up, shm plan allocation, worker-side
+    mobility construction) then ``intervals`` timed ones per (population,
+    worker count).  Records per-stage seconds from ``IntervalResult.timing``
+    — for sharded runs those are summed worker-side compute seconds, so on
+    a single-core machine the stage split stays honest while wall-clock
+    speedups sit near or below 1x.  Peak RSS (self + children) is sampled
+    after ``close()`` so pool workers are included.
+    """
+    cpu_count = os.cpu_count() or 1
+    sweep: dict = {"cpu_count": cpu_count, "populations": {}}
+    for users, worker_counts in populations:
+        entry: dict = {}
+        for worker_count in worker_counts:
+            sim = StreamingSimulator(
+                SimulationConfig(
+                    num_users=users,
+                    num_intervals=intervals + 1,
+                    interval_s=LARGE_INTERVAL_S,
+                    seed=SEED,
+                    channel_draw_mode="grouped",
+                    playback_workers=worker_count,
+                )
+            )
+            try:
+                grouping = _multicast_grouping(sim, group_size=LARGE_GROUP_SIZE)
+                sim.run_interval(grouping)  # warm
+                stages = {key: 0.0 for key in STAGE_KEYS}
+                started = time.perf_counter()
+                for _ in range(intervals):
+                    result = sim.run_interval(grouping)
+                    for key in STAGE_KEYS:
+                        stages[key] += result.timing.get(key, 0.0)
+                elapsed = time.perf_counter() - started
+            finally:
+                sim.close()
+            peak_rss_mb = _peak_rss_mb()
+            entry[worker_count] = {
+                "elapsed_s": elapsed,
+                "stage_timings": stages,
+                "peak_rss_mb": peak_rss_mb,
+            }
+            records.append(
+                benchmark_record(
+                    "scale_population_large",
+                    elapsed_s=elapsed,
+                    users=users,
+                    intervals=intervals,
+                    engine="grouped-full-shard",
+                    playback_workers=worker_count,
+                    cpu_count=cpu_count,
+                    interval_s=LARGE_INTERVAL_S,
+                    group_size=LARGE_GROUP_SIZE,
+                    stage_timings=entry[worker_count]["stage_timings"],
+                    peak_rss_mb=peak_rss_mb,
+                )
+            )
+        sweep["populations"][users] = entry
     return sweep
 
 
@@ -557,6 +659,7 @@ def scale_experiment() -> dict:
     batched_speedups = batched_engine_experiment(records)
     cache_speedups = feature_cache_experiment(records)
     worker_sweep = playback_workers_experiment(records)
+    large_sweep = large_population_experiment(records)
 
     path = write_benchmark_json("scale_population", records)
     return {
@@ -566,6 +669,7 @@ def scale_experiment() -> dict:
         "batched_speedups": batched_speedups,
         "feature_cache_speedups": cache_speedups,
         "worker_sweep": worker_sweep,
+        "large_sweep": large_sweep,
         "json_path": str(path),
     }
 
@@ -643,6 +747,18 @@ def report(result: dict) -> None:
             )
             identical = "identical" if entry["totals_identical"] else "DIVERGED"
             print(f"  {users} users: {line} (totals {identical})")
+    if "large_sweep" in result:
+        sweep = result["large_sweep"]
+        print(f"full-shard large sweep ({sweep['cpu_count']} cpu core(s)):")
+        for users, entry in sorted(sweep["populations"].items()):
+            for workers, run in sorted(entry.items()):
+                stages = ", ".join(
+                    f"{key}={run['stage_timings'][key]:.1f}s" for key in STAGE_KEYS
+                )
+                print(
+                    f"  {users} users / {workers}w: {run['elapsed_s']:.1f}s"
+                    f" ({stages}, peak RSS {run['peak_rss_mb']:.0f} MiB)"
+                )
     print(f"JSON record: {result['json_path']}")
 
 

@@ -18,6 +18,7 @@ harnesses print (Fig. 3(b) and the headline 95.04 % figure).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
@@ -291,6 +292,10 @@ class DTResourcePredictionScheme:
         #: Scoped-group → cell map of the most recent prediction (written by
         #: predict_next_interval, consumed by step; empty in boundary mode).
         self._last_cell_of_group: Dict[int, int] = {}
+        #: Accumulated wall-time of the prediction pipeline (warm-up twin
+        #: tensors + per-step predictions), exported by the scenario runner
+        #: as ``RunResult.timing["predict_s"]``.
+        self.timing: Dict[str, float] = {"predict_s": 0.0}
 
     # ------------------------------------------------------------- lifecycle
     def __enter__(self) -> "DTResourcePredictionScheme":
@@ -344,12 +349,17 @@ class DTResourcePredictionScheme:
             self.simulator.run_interval(grouping)
             end_s = self.simulator.clock.current_interval * interval_s
             start_s = end_s - interval_s
+            # Fresh one-interval windows: served by the hybrid batched
+            # resample (feature_tensor's default path), which batches every
+            # row the per-user cache cannot prove unchanged.
+            tensor_started = time.perf_counter()
             tensor = self.simulator.twins.feature_tensor(
                 start_s,
                 end_s,
                 num_steps=self.config.feature_steps,
                 user_ids=self.simulator.user_ids(),
             )
+            self.timing["predict_s"] += time.perf_counter() - tensor_started
             self._warmup_snapshots.append(tensor)
 
         training_tensor = np.concatenate(self._warmup_snapshots, axis=0)
@@ -428,7 +438,9 @@ class DTResourcePredictionScheme:
         evaluation carries per-cell predicted/actual radio demand alongside
         the population totals.
         """
+        predict_started = time.perf_counter()
         grouping, profiles, predictions = self.predict_next_interval()
+        self.timing["predict_s"] += time.perf_counter() - predict_started
         cell_of_group = self._last_cell_of_group
         if self.simulator.placement is not None:
             # Predictive placement packs against exactly the per-group

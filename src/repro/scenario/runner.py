@@ -118,6 +118,12 @@ class RunResult:
     #: exported — only for multi-server or placement-enabled runs, so
     #: single-server exports stay bit-identical to their goldens.
     per_server: Dict[str, Dict[str, List[Optional[float]]]] = field(default_factory=dict)
+    #: Per-stage wall-time totals over the run: the simulator's
+    #: ``stage1_s`` / ``playback_s`` / ``collection_s`` sums, plus
+    #: ``predict_s`` (prediction pipeline, scheme mode only).  Exported as
+    #: its own top-level key so interval records and summaries — and their
+    #: golden digests — are untouched.
+    timing: Dict[str, float] = field(default_factory=dict)
     spec: Optional[dict] = None
     evaluation: Optional[EvaluationResult] = None
     interval_results: Optional[List[IntervalResult]] = None
@@ -140,6 +146,7 @@ class RunResult:
             "intervals": list(self.intervals),
             "summary": dict(self.summary),
             "per_cell": {key: dict(series) for key, series in self.per_cell.items()},
+            "timing": {key: float(value) for key, value in self.timing.items()},
             "spec": self.spec,
         }
         if self.per_server:
@@ -217,6 +224,15 @@ class ScenarioRunner:
                     records.append(record)
         elapsed = time.perf_counter() - started
 
+        # Per-stage totals over every interval the simulator played
+        # (including scheme warm-up, which raw_results excludes).
+        timing: Dict[str, float] = {}
+        for interval_result in simulator.history:
+            for key, value in interval_result.timing.items():
+                timing[key] = timing.get(key, 0.0) + float(value)
+        if spec.mode == "scheme":
+            timing["predict_s"] = float(scheme.timing["predict_s"])
+
         run_result = RunResult(
             scenario=spec.name,
             mode=spec.mode,
@@ -227,6 +243,7 @@ class ScenarioRunner:
             summary=self._summary(evaluation, raw_results, simulator, horizon),
             per_cell=self._per_cell_series(evaluation, raw_results),
             per_server=self._per_server_series(simulator, raw_results),
+            timing=timing,
             spec=spec.to_dict(),
             evaluation=evaluation,
             interval_results=raw_results,

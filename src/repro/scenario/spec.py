@@ -239,6 +239,13 @@ class EngineSpec:
 
     channel_draw_mode: Optional[str] = None
     playback_workers: int = 1
+    #: Which stages run on the worker pool: ``"playback"`` (stage 2 only),
+    #: ``"full"`` (whole interval, grouped mode only) or ``None`` for the
+    #: mode default (see :class:`~repro.sim.config.SimulationConfig`).
+    shard_stages: Optional[str] = None
+    #: Back the full-shard interval plan with shared-memory segments
+    #: (``False``: pickle the plan arrays instead, identical results).
+    shared_memory_buffers: bool = True
     feature_steps: int = 32
     collection_period_multiplier: float = 1.0
     collection_drop_probability: float = 0.0

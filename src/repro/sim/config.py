@@ -70,6 +70,24 @@ class SimulationConfig:
     #: inherently sequential).  ``1`` plays the same per-group streams
     #: serially; any value yields identical results for identical seeds.
     playback_workers: int = 1
+    #: Which interval stages shard across the worker pool.  ``"playback"``
+    #: is the legacy scheme: only stage-2 playback runs in workers, with
+    #: per-task pickled arrays; stage 1 (channel draws) and twin collection
+    #: stay in the parent.  ``"full"`` moves the whole interval onto a
+    #: persistent per-worker runtime (see :mod:`repro.sim.shard`): tasks
+    #: shrink to ``(plan handle, group index)`` messages, workers rebuild
+    #: mobility/collection state from registry keys, and stage 1 + stage 3
+    #: shard too.  Results are bit-identical between the two (and to
+    #: serial).  ``None`` resolves to ``"full"`` in ``"grouped"`` draw mode
+    #: and ``"playback"`` otherwise; ``"full"`` requires ``"grouped"``.
+    shard_stages: Optional[str] = None
+    #: Back the per-interval plan (member layout, preference weights,
+    #: sampling CDFs, mean-SNR output) with ``multiprocessing.shared_memory``
+    #: segments ring-reused across intervals.  ``False`` falls back to
+    #: pickling the same arrays inside the plan handle — identical results,
+    #: useful where /dev/shm is unavailable.  Only the ``"full"`` shard
+    #: path reads it.
+    shared_memory_buffers: bool = True
 
     # Multi-cell RAN controller (see repro.net.controller).
     #: ``"boundary"`` keeps the pre-controller behaviour (strongest-cell
@@ -169,6 +187,21 @@ class SimulationConfig:
                 "playback_workers > 1 requires channel_draw_mode='grouped': the "
                 "compat/fast modes consume one shared generator and cannot be "
                 "sharded without changing results"
+            )
+        if self.shard_stages is None:
+            self.shard_stages = (
+                "full" if self.channel_draw_mode == "grouped" else "playback"
+            )
+        if self.shard_stages not in ("playback", "full"):
+            raise ValueError(
+                "shard_stages must be 'playback' or 'full' (or None for the "
+                f"mode default), got {self.shard_stages!r}"
+            )
+        if self.shard_stages == "full" and self.channel_draw_mode != "grouped":
+            raise ValueError(
+                "shard_stages='full' requires channel_draw_mode='grouped': "
+                "only the keyed registry streams let workers recompute stage "
+                "1 and collection independently"
             )
         if self.controller_apps is not None:
             if self.controller_mode != "handover":

@@ -1,0 +1,564 @@
+"""Full-interval sharded engine: shared-memory fabric + worker runtime.
+
+The grouped interval engine (``channel_draw_mode="grouped"``) derives every
+random draw from a structured key (:mod:`repro.sim.rng`), so any stage of an
+interval can be recomputed anywhere — a worker process needs *keys*, not
+generator state.  This module supplies the two pieces that turn that
+property into a fully sharded interval:
+
+* :class:`SharedIntervalPlan` — the parent-owned shared-memory fabric.  Per
+  interval the :class:`~repro.sim.simulator.StreamingSimulator` publishes one
+  *plan*: the member-slot layout (group offsets, user ids, serving cells),
+  the per-member preference-weight matrix, the per-group video-sampling CDFs
+  and an output slot for per-member mean SNR.  Segments are ring-reused
+  across intervals (reallocated only when the population outgrows them) and
+  unlinked by ``close()``.  Tasks shrink to ``(plan handle, group index)`` —
+  no arrays are pickled per task.
+
+* :class:`ShardWorkerRuntime` — the persistent per-worker population state.
+  Each worker lazily reconstructs per-user mobility models from their
+  ``SeedSequence((seed, user_id))`` keys (bit-identical to the parent's,
+  since a trajectory is a pure function of campus + seed) and caches them
+  across intervals.  The population *epoch* — bumped by the parent on every
+  ``add_user``/``remove_user`` — gates resynchronisation: only when the
+  epoch advances does a worker prune departed users from its cache, and new
+  users materialise lazily on first touch, so churn resyncs exactly the
+  delta and ships no state at all.
+
+A shard task runs all three stages of one group's interval in the worker:
+stage 1 (channel draws from the group's ``(seed, interval, group)`` stream,
+mean SNR written into the plan's shared output), stage 2 (multicast playback
+via :func:`~repro.sim.simulator.play_group_task`, reading its CDF row and
+weight slice zero-copy from the plan) and stage 3 (twin status collection
+from the per-``(interval, user)`` streams, returned as an op log the parent
+replays onto the real twins).  Serial and sharded runs are bit-identical for
+every worker count.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mobility.campus import CampusMap
+from repro.mobility.trajectory import GraphTrajectoryMobility
+from repro.net.basestation import BaseStation
+from repro.net.multicast import group_spectral_efficiency
+from repro.sim.rng import RngRegistry, grouped_channel_stream
+from repro.timegrid import time_grid
+from repro.twin.attributes import AttributeSpec
+from repro.twin.collector import CollectionPolicy, StatusCollector
+
+#: Prefix of every shared-memory segment this module creates; the /dev/shm
+#: leak regression test keys on it.
+SEGMENT_PREFIX = "repro-shard"
+
+_PLAN_KEYS = ("idx", "wts", "cdf", "snr")
+
+
+# --------------------------------------------------------------------------
+# Plan handle + shared-memory fabric (parent side)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlanHandle:
+    """Picklable descriptor of one interval's published plan.
+
+    Carries only names, shapes and scalars (a few hundred bytes); the
+    arrays themselves live in the shared segments — or, when shared memory
+    is disabled, ride along in ``inline`` (the pickled-array fallback).
+    """
+
+    token: str
+    version: int
+    epoch: int
+    interval_index: int
+    start_s: float
+    end_s: float
+    num_users: int
+    num_groups: int
+    num_categories: int
+    num_videos: int
+    #: ``{key: segment name}`` for the shm fabric, ``None`` in inline mode.
+    names: Optional[Mapping[str, str]] = None
+    #: ``(offsets, group_ids, user_ids, serving, weights, cdf)`` when shared
+    #: memory is disabled; ``None`` otherwise.
+    inline: Optional[tuple] = None
+
+
+class SharedIntervalPlan:
+    """Parent-owned, ring-reused shared-memory backing of interval plans.
+
+    One instance per simulator.  ``publish`` writes the interval's arrays
+    into the segments (growing them — under a new version — only when the
+    population outgrows the current capacity) and returns the
+    :class:`PlanHandle` workers attach by name.  ``close`` unlinks every
+    segment and is idempotent; the owning simulator calls it from its own
+    ``close()``/``__exit__``.
+    """
+
+    def __init__(self, token: str, use_shared_memory: bool = True) -> None:
+        self.token = token
+        self.use_shared_memory = use_shared_memory
+        self.version = 0
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._capacity: Dict[str, int] = {}
+
+    # ------------------------------------------------------------- publish
+    def publish(
+        self,
+        *,
+        epoch: int,
+        interval_index: int,
+        start_s: float,
+        end_s: float,
+        offsets: np.ndarray,
+        group_ids: np.ndarray,
+        user_ids: np.ndarray,
+        serving: np.ndarray,
+        weights: np.ndarray,
+        cdf: np.ndarray,
+    ) -> PlanHandle:
+        num_users, num_categories = weights.shape
+        num_groups, num_videos = cdf.shape
+        base = dict(
+            token=self.token,
+            version=self.version,
+            epoch=epoch,
+            interval_index=interval_index,
+            start_s=float(start_s),
+            end_s=float(end_s),
+            num_users=int(num_users),
+            num_groups=int(num_groups),
+            num_categories=int(num_categories),
+            num_videos=int(num_videos),
+        )
+        if not self.use_shared_memory:
+            return PlanHandle(
+                **base,
+                inline=(
+                    offsets.astype(np.int64),
+                    group_ids.astype(np.int64),
+                    user_ids.astype(np.int64),
+                    serving.astype(np.int64),
+                    weights,
+                    cdf,
+                ),
+            )
+        index = np.concatenate([offsets, group_ids, user_ids, serving]).astype(np.int64)
+        sizes = {
+            "idx": index.nbytes,
+            "wts": weights.nbytes,
+            "cdf": cdf.nbytes,
+            "snr": int(num_users) * 8,
+        }
+        if not self._segments or any(
+            sizes[key] > self._capacity.get(key, -1) for key in _PLAN_KEYS
+        ):
+            self._reallocate(sizes)
+        base["version"] = self.version
+        self._write("idx", index)
+        self._write("wts", np.ascontiguousarray(weights, dtype=np.float64))
+        self._write("cdf", np.ascontiguousarray(cdf, dtype=np.float64))
+        self._write("snr", np.zeros(num_users, dtype=np.float64))
+        return PlanHandle(
+            **base, names={key: seg.name for key, seg in self._segments.items()}
+        )
+
+    def mean_snr(self, handle: PlanHandle) -> np.ndarray:
+        """Copy of the per-member mean-SNR output slots (post shard run)."""
+        segment = self._segments["snr"]
+        view = np.ndarray(
+            (handle.num_users,), dtype=np.float64, buffer=segment.buf
+        )
+        out = np.array(view)
+        del view
+        return out
+
+    # ------------------------------------------------------------ internals
+    def _write(self, key: str, array: np.ndarray) -> None:
+        segment = self._segments[key]
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[:] = array
+        del view
+
+    def _reallocate(self, sizes: Dict[str, int]) -> None:
+        self._release(unlink=True)
+        self.version += 1
+        for key in _PLAN_KEYS:
+            # Grow with headroom so steady churn doesn't reallocate every
+            # interval; segments are page-granular anyway.
+            capacity = max(int(sizes[key]), 2 * self._capacity.get(key, 0), 8)
+            name = f"{SEGMENT_PREFIX}-{self.token}-v{self.version}-{key}"
+            self._segments[key] = shared_memory.SharedMemory(
+                name=name, create=True, size=capacity
+            )
+            self._capacity[key] = capacity
+
+    def _release(self, unlink: bool) -> None:
+        for segment in self._segments.values():
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - exported views linger
+                pass
+            if unlink:
+                try:
+                    segment.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+        self._segments = {}
+        self._capacity = {}
+
+    def close(self) -> None:
+        """Unlink and forget every segment (idempotent)."""
+        self._release(unlink=True)
+
+
+# --------------------------------------------------------------------------
+# Static worker state + runtime (worker side)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ShardStatic:
+    """Content/config state shipped to each worker once, at pool start."""
+
+    seed: int
+    catalog: object
+    watching_model: object
+    video_ids: np.ndarray
+    category_indices: np.ndarray
+    #: Column permutation mapping the catalog's sampling-category order onto
+    #: the config-category order the plan's weight matrix uses.
+    sampling_perm: np.ndarray
+    swipe_gap_s: float
+    rb_bandwidth_hz: float
+    interval_s: float
+    stream_bandwidth_hz: float
+    implementation_loss: float
+    channel_sample_period_s: float
+    campus: CampusMap
+    base_stations: Sequence[BaseStation]
+    attributes: Dict[str, AttributeSpec]
+    collection_policy: CollectionPolicy
+    report_cells: bool
+
+
+class _ArrayPreference:
+    """Duck-typed preference exposing exactly ``as_array()`` over a row.
+
+    The collector only reads the weight vector; rebuilding a
+    :class:`~repro.behavior.preference.PreferenceVector` would renormalise
+    and could flip low-order bits, so the plan's row is served verbatim.
+    """
+
+    __slots__ = ("_array",)
+
+    def __init__(self, array: np.ndarray) -> None:
+        self._array = array
+
+    def as_array(self, categories=None) -> np.ndarray:
+        return self._array
+
+
+class _RecordingTwin:
+    """Twin stand-in that records collector appends instead of storing them.
+
+    Lets the worker run the *actual* :class:`StatusCollector` code — so the
+    per-user stream walk is byte-for-byte the serial one — while the real
+    twin state stays in the parent, which replays the recorded op log.
+    """
+
+    __slots__ = ("attributes", "batches", "watches")
+
+    def __init__(self, attributes: Dict[str, AttributeSpec]) -> None:
+        self.attributes = attributes
+        self.batches: List[tuple] = []
+        self.watches: List[object] = []
+
+    def record_batch(self, attribute: str, timestamps_s, values) -> int:
+        self.batches.append(
+            (attribute, np.asarray(timestamps_s), np.asarray(values))
+        )
+        return len(self.batches)
+
+    def record_watches(self, records) -> None:
+        self.watches.extend(records)
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    # Attaching registers the segment with the (fork-shared) resource
+    # tracker, which would race the parent's own register/unlink pair and
+    # try to clean the segment up again at worker exit.  The parent owns
+    # the lifecycle, so suppress the worker-side registration entirely
+    # (Python < 3.13 has no ``track=False``).
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+class ShardWorkerRuntime:
+    """Persistent per-worker state: population caches + plan attachments."""
+
+    def __init__(self, static: ShardStatic) -> None:
+        self.static = static
+        self.registry = RngRegistry(static.seed)
+        self.epoch = -1
+        #: Lazily reconstructed per-user mobility models.  Pure functions of
+        #: (campus, per-user seed), so entries are bit-identical to the
+        #: parent's models no matter when they are built.
+        self.mobility: Dict[int, GraphTrajectoryMobility] = {}
+        self.bs_by_id = {bs.bs_id: bs for bs in static.base_stations}
+        self.ladder = static.catalog.reference_ladder()
+        self.collector = StatusCollector(
+            policy=static.collection_policy,
+            seed=0,  # never drawn from: grouped mode routes keep draws too
+            interleaved_snr_draws=False,
+        )
+        self._attached: Optional[dict] = None
+
+    # ------------------------------------------------------------ population
+    def mobility_for(self, user_id: int) -> GraphTrajectoryMobility:
+        model = self.mobility.get(user_id)
+        if model is None:
+            model = GraphTrajectoryMobility(
+                self.static.campus, seed=self.registry.mobility_seed(user_id)
+            )
+            self.mobility[user_id] = model
+        return model
+
+    def _resync_population(self, epoch: int, user_ids: np.ndarray) -> None:
+        """Epoch-gated delta resync: prune departed users, keep the rest."""
+        if epoch == self.epoch:
+            return
+        live = {int(uid) for uid in user_ids}
+        for uid in [uid for uid in self.mobility if uid not in live]:
+            del self.mobility[uid]
+        self.epoch = epoch
+
+    # ----------------------------------------------------------------- plans
+    def plan_arrays(self, handle: PlanHandle) -> dict:
+        """Attach (cached by version) and slice the plan's arrays."""
+        num_users = handle.num_users
+        num_groups = handle.num_groups
+        if handle.names is None:
+            offsets, group_ids, user_ids, serving, weights, cdf = handle.inline
+            snr_out = None
+        else:
+            attached = self._attached
+            if (
+                attached is None
+                or attached["token"] != handle.token
+                or attached["version"] != handle.version
+            ):
+                self._close_attachments()
+                attached = {
+                    "token": handle.token,
+                    "version": handle.version,
+                    "segments": {
+                        key: _attach_segment(name)
+                        for key, name in handle.names.items()
+                    },
+                }
+                self._attached = attached
+            segments = attached["segments"]
+            index = np.ndarray(
+                (num_groups + 1 + num_groups + 2 * num_users,),
+                dtype=np.int64,
+                buffer=segments["idx"].buf,
+            )
+            offsets = index[: num_groups + 1]
+            group_ids = index[num_groups + 1 : 2 * num_groups + 1]
+            user_ids = index[2 * num_groups + 1 : 2 * num_groups + 1 + num_users]
+            serving = index[2 * num_groups + 1 + num_users :]
+            weights = np.ndarray(
+                (num_users, handle.num_categories),
+                dtype=np.float64,
+                buffer=segments["wts"].buf,
+            )
+            cdf = np.ndarray(
+                (num_groups, handle.num_videos),
+                dtype=np.float64,
+                buffer=segments["cdf"].buf,
+            )
+            snr_out = np.ndarray(
+                (num_users,), dtype=np.float64, buffer=segments["snr"].buf
+            )
+        self._resync_population(handle.epoch, user_ids)
+        return {
+            "offsets": offsets,
+            "group_ids": group_ids,
+            "user_ids": user_ids,
+            "serving": serving,
+            "weights": weights,
+            "cdf": cdf,
+            "snr_out": snr_out,
+        }
+
+    def _close_attachments(self) -> None:
+        if self._attached is None:
+            return
+        segments = self._attached["segments"]
+        self._attached = None
+        for segment in segments.values():
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - view still exported
+                pass
+
+
+#: The per-process runtime, set once by the pool initializer.
+_SHARD_RUNTIME: Optional[ShardWorkerRuntime] = None
+
+
+def _init_shard_worker(static: ShardStatic) -> None:
+    global _SHARD_RUNTIME
+    _SHARD_RUNTIME = ShardWorkerRuntime(static)
+
+
+def _probe_shard_worker(_: int) -> tuple:
+    """Test/debug hook: this worker's (pid, epoch, cached mobility ids)."""
+    runtime = _SHARD_RUNTIME
+    assert runtime is not None, "shard worker not initialized"
+    return os.getpid(), runtime.epoch, tuple(sorted(runtime.mobility))
+
+
+def _run_shard_task(task: tuple) -> tuple:
+    """Run all three stages of one group's interval inside the worker.
+
+    Returns ``(group_id, usage, events_by_member, requests, representation,
+    mean_snrs_or_None, collection_ops, stage_times)``.  ``mean_snrs`` is
+    ``None`` when the plan is shm-backed (the worker wrote them into the
+    plan's output slots instead).
+    """
+    handle, group_index = task
+    runtime = _SHARD_RUNTIME
+    assert runtime is not None, "shard worker not initialized"
+    static = runtime.static
+    # Imported lazily: repro.sim.simulator imports this module at load time.
+    from repro.sim.simulator import GroupPlaybackTask, play_group_task
+
+    arrays = runtime.plan_arrays(handle)
+    offsets = arrays["offsets"]
+    lo = int(offsets[group_index])
+    hi = int(offsets[group_index + 1])
+    group_id = int(arrays["group_ids"][group_index])
+    member_ids = [int(uid) for uid in arrays["user_ids"][lo:hi]]
+    serving = arrays["serving"][lo:hi]
+
+    # Stage 1: per-group channel stream, mobility from the persistent cache.
+    started = time.perf_counter()
+    times = time_grid(handle.start_s, handle.end_s, static.channel_sample_period_s)
+    positions = {
+        uid: runtime.mobility_for(uid).positions(times) for uid in member_ids
+    }
+    rng = grouped_channel_stream(static.seed, handle.interval_index, group_id)
+    by_station: Dict[int, List[int]] = {}
+    for uid, bs_id in zip(member_ids, serving):
+        by_station.setdefault(int(bs_id), []).append(uid)
+    mean_by_user: Dict[int, float] = {}
+    for bs_id in sorted(by_station):
+        served = by_station[bs_id]
+        traces = runtime.bs_by_id[bs_id].sample_snr_traces(
+            np.stack([positions[uid] for uid in served], axis=0), rng=rng
+        )
+        for row, uid in enumerate(served):
+            mean_by_user[uid] = float(traces[row].mean())
+    mean_snrs = [mean_by_user[uid] for uid in member_ids]
+    efficiency = group_spectral_efficiency(
+        mean_snrs, implementation_loss=static.implementation_loss
+    )
+    representation = runtime.ladder.best_fitting(
+        efficiency * static.stream_bandwidth_hz
+    )
+    if arrays["snr_out"] is not None:
+        arrays["snr_out"][lo:hi] = mean_snrs
+        mean_out: Optional[List[float]] = None
+    else:
+        mean_out = mean_snrs
+    stage1_done = time.perf_counter()
+
+    # Stage 2: playback.  The CDF row is read zero-copy from the plan; the
+    # weight slice is gathered into the catalog's sampling-category order.
+    weight_rows = arrays["weights"][lo:hi]
+    playback_task = GroupPlaybackTask(
+        group_id=group_id,
+        member_ids=tuple(member_ids),
+        representation=representation,
+        efficiency=efficiency,
+        start_s=handle.start_s,
+        end_s=handle.end_s,
+        cdf=arrays["cdf"][group_index],
+        weights=weight_rows[:, static.sampling_perm],
+        seed=static.seed,
+        interval_index=handle.interval_index,
+    )
+    usage, events, requests = play_group_task(
+        playback_task,
+        static.catalog,
+        static.watching_model,
+        static.video_ids,
+        static.category_indices,
+        static.swipe_gap_s,
+        static.rb_bandwidth_hz,
+        static.interval_s,
+    )
+    playback_done = time.perf_counter()
+
+    # Stage 3: twin collection from the per-(interval, user) streams.  The
+    # real collector runs against a recording twin, so the stream walk is
+    # identical to the serial path; the parent replays the op log.
+    collection: Dict[int, List[tuple]] = {}
+    for row, uid in enumerate(member_ids):
+        stream = runtime.registry.collection_stream(handle.interval_index, uid)
+        recorder = _RecordingTwin(static.attributes)
+        runtime.collector.collect_interval(
+            recorder,
+            runtime.mobility_for(uid),
+            runtime.bs_by_id[int(serving[row])],
+            _ArrayPreference(np.array(weight_rows[row])),
+            events[uid],
+            handle.start_s,
+            handle.end_s,
+            rng=stream,
+            keep_rng=stream,
+            serving_cell=int(serving[row]) if static.report_cells else None,
+        )
+        ops: List[tuple] = [("batch", *batch) for batch in recorder.batches]
+        if events[uid]:
+            # Kept watch records are a subsequence of this user's events;
+            # return indices so the records are not pickled twice.
+            kept: List[int] = []
+            cursor = 0
+            for record in recorder.watches:
+                while events[uid][cursor].record is not record:
+                    cursor += 1
+                kept.append(cursor)
+                cursor += 1
+            ops.append(("watches", tuple(kept)))
+        collection[uid] = ops
+    collect_done = time.perf_counter()
+
+    return (
+        group_id,
+        usage,
+        events,
+        requests,
+        representation,
+        mean_out,
+        collection,
+        (
+            stage1_done - started,
+            playback_done - stage1_done,
+            collect_done - playback_done,
+        ),
+    )

@@ -23,7 +23,10 @@ prediction scheme is evaluated against.
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
+import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -54,6 +57,12 @@ from repro.sim.clock import SimulationClock
 from repro.sim.config import SimulationConfig
 from repro.sim.metrics import MetricRecorder
 from repro.sim.rng import RngRegistry, grouped_watch_stream
+from repro.sim.shard import (
+    SharedIntervalPlan,
+    ShardStatic,
+    _init_shard_worker,
+    _run_shard_task,
+)
 from repro.timegrid import time_grid
 from repro.twin.collector import StatusCollector
 from repro.twin.manager import DigitalTwinManager
@@ -118,6 +127,12 @@ class IntervalResult:
     #: Fleet fragmentation snapshot (``None`` for a single-server fleet).
     edge_fragmentation: Optional[float] = None
     placement_events: List[ReprovisionEvent] = field(default_factory=list)
+    #: Per-stage wall-time breakdown of this interval (``stage1_s`` channel
+    #: draws, ``playback_s`` multicast playback, ``collection_s`` twin
+    #: collection).  In the full-shard engine the stage entries are summed
+    #: worker-side per-task seconds (attributable CPU time per stage) plus
+    #: the parent's plan/merge/replay overhead.
+    timing: Dict[str, float] = field(default_factory=dict)
 
     @property
     def num_handovers(self) -> int:
@@ -302,6 +317,9 @@ def play_group_task(
 #: Static per-worker playback state, set once by the pool initializer.
 _PLAYBACK_WORKER_STATE: Optional[tuple] = None
 
+#: Monotonic suffix keeping concurrent simulators' plan segments distinct.
+_PLAN_SEQ = itertools.count()
+
 
 def _init_playback_worker(
     catalog: "VideoCatalog",
@@ -342,6 +360,14 @@ class StreamingSimulator:
         #: their identical-seed goldens stay bit-for-bit.
         self._registry = RngRegistry(config.seed)
         self._pool: Optional[ProcessPoolExecutor] = None
+        #: Shared-memory interval plan (full-shard engine only, lazy).
+        self._plan: Optional[SharedIntervalPlan] = None
+        #: Bumped on every add_user/remove_user; shipped in each plan handle
+        #: so workers resync their population caches exactly on churn.
+        self._population_epoch = 0
+        #: Collection op logs returned by shard workers for the current
+        #: interval, consumed (replayed onto the twins) by _collect_status.
+        self._pending_collection: Optional[Dict[int, list]] = None
 
         # Content.
         self.catalog = VideoCatalog.generate(
@@ -520,10 +546,18 @@ class StreamingSimulator:
 
     # ------------------------------------------------------------- lifecycle
     def close(self) -> None:
-        """Shut down the playback worker pool (no-op when never started)."""
+        """Release the worker pool and shared-memory plan segments.
+
+        Idempotent: safe to call any number of times, including when the
+        pool was never started, and again after an exception already tore
+        part of the state down.
+        """
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        if self._plan is not None:
+            self._plan.close()
+            self._plan = None
 
     def __enter__(self) -> "StreamingSimulator":
         return self
@@ -538,11 +572,15 @@ class StreamingSimulator:
             pass
 
     def _playback_pool(self) -> ProcessPoolExecutor:
-        """The lazily-started process pool playback is sharded over.
+        """The lazily-started process pool the interval is sharded over.
 
-        Workers are initialised once with the static content state (catalog,
-        watching model, per-video sampling arrays); everything that changes
-        between intervals travels inside each :class:`GroupPlaybackTask`.
+        ``shard_stages="playback"`` workers are initialised once with the
+        static content state (catalog, watching model, per-video sampling
+        arrays); everything that changes between intervals travels inside
+        each :class:`GroupPlaybackTask`.  ``shard_stages="full"`` workers
+        instead boot a persistent :class:`repro.sim.shard.ShardWorkerRuntime`
+        — the population state (mobility, collector, registry streams) lives
+        in the worker and tasks shrink to ``(plan handle, group index)``.
         The pool survives across intervals and is torn down by :meth:`close`.
         """
         if self._pool is None:
@@ -550,22 +588,68 @@ class StreamingSimulator:
             context = multiprocessing.get_context(
                 "fork" if "fork" in methods else None
             )
-            video_ids, _, category_indices, _ = self.catalog.sampling_arrays()
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.config.playback_workers,
-                mp_context=context,
-                initializer=_init_playback_worker,
-                initargs=(
-                    self.catalog,
-                    self.watching_model,
-                    video_ids,
-                    category_indices,
-                    self.config.swipe_gap_s,
-                    self.config.rb_bandwidth_hz,
-                    self.config.interval_s,
-                ),
-            )
+            if self.config.shard_stages == "full":
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.config.playback_workers,
+                    mp_context=context,
+                    initializer=_init_shard_worker,
+                    initargs=(self._build_shard_static(),),
+                )
+            else:
+                video_ids, _, category_indices, _ = self.catalog.sampling_arrays()
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.config.playback_workers,
+                    mp_context=context,
+                    initializer=_init_playback_worker,
+                    initargs=(
+                        self.catalog,
+                        self.watching_model,
+                        video_ids,
+                        category_indices,
+                        self.config.swipe_gap_s,
+                        self.config.rb_bandwidth_hz,
+                        self.config.interval_s,
+                    ),
+                )
         return self._pool
+
+    def _build_shard_static(self) -> ShardStatic:
+        """Static per-worker state for the full-shard runtime (pool start)."""
+        config = self.config
+        video_ids, _, category_indices, sampling_categories = (
+            self.catalog.sampling_arrays()
+        )
+        config_index = {c: i for i, c in enumerate(config.categories)}
+        sampling_perm = np.array(
+            [config_index[c] for c in sampling_categories], dtype=np.intp
+        )
+        return ShardStatic(
+            seed=config.seed,
+            catalog=self.catalog,
+            watching_model=self.watching_model,
+            video_ids=video_ids,
+            category_indices=category_indices,
+            sampling_perm=sampling_perm,
+            swipe_gap_s=config.swipe_gap_s,
+            rb_bandwidth_hz=config.rb_bandwidth_hz,
+            interval_s=config.interval_s,
+            stream_bandwidth_hz=config.stream_bandwidth_hz,
+            implementation_loss=config.implementation_loss,
+            channel_sample_period_s=config.channel_sample_period_s,
+            campus=self.campus,
+            base_stations=self.base_stations,
+            attributes=dict(self.twins.attributes),
+            collection_policy=self.collector.policy,
+            report_cells=self.controller is not None,
+        )
+
+    def _interval_plan(self) -> SharedIntervalPlan:
+        if self._plan is None:
+            self._plan = SharedIntervalPlan(
+                token=f"{os.getpid()}-{next(_PLAN_SEQ)}",
+                use_shared_memory=self.config.shared_memory_buffers,
+            )
+        return self._plan
 
     # ------------------------------------------------------------ population
     def user_ids(self) -> List[int]:
@@ -604,6 +688,7 @@ class StreamingSimulator:
             ),
         )
         self.twins.register_user(user_id)
+        self._population_epoch += 1
         position = mobility.position(self.clock.now_s)
         best = max(self.base_stations, key=lambda bs: bs.mean_snr_db(position))
         self.users[user_id].serving_bs_id = best.bs_id
@@ -616,6 +701,7 @@ class StreamingSimulator:
         if user_id not in self.users:
             raise KeyError(f"unknown user {user_id}")
         del self.users[user_id]
+        self._population_epoch += 1
         if self.controller is not None:
             self.controller.detach_user(user_id)
         if not keep_twin:
@@ -886,20 +972,26 @@ class StreamingSimulator:
                 transcode_requests,
             )
         else:
-            link_states = (
-                self._interval_link_states(played_grouping, start_s, end_s)
-                if self.config.channel_draw_mode == "fast"
-                else None
-            )
+            playback_started = time.perf_counter()
+            stage1_s = 0.0
+            if self.config.channel_draw_mode == "fast":
+                link_states = self._interval_link_states(
+                    played_grouping, start_s, end_s
+                )
+                stage1_s = time.perf_counter() - playback_started
+            else:
+                link_states = None
 
             for group_id, member_ids in played_grouping.items():
                 member_ids = list(member_ids)
                 if link_states is not None:
                     efficiency, representation, mean_snrs = link_states[group_id]
                 else:
+                    stage_started = time.perf_counter()
                     efficiency, representation, mean_snrs = self.group_link_state(
                         member_ids, start_s, end_s
                     )
+                    stage1_s += time.perf_counter() - stage_started
                 result.mean_snr_by_user.update(mean_snrs)
                 usage = self._play_group_stream(
                     group_id,
@@ -912,6 +1004,10 @@ class StreamingSimulator:
                     transcode_requests,
                 )
                 result.usage_by_group[group_id] = usage
+            result.timing["stage1_s"] = stage1_s
+            result.timing["playback_s"] = (
+                time.perf_counter() - playback_started - stage1_s
+            )
 
         # Edge transcoding for all groups of this interval, routed over the
         # fleet (all groups on server 0 when placement is disabled — the
@@ -937,8 +1033,15 @@ class StreamingSimulator:
                 time_s=end_s,
             )
 
-        # Digital-twin collection and behavioural updates.
+        # Digital-twin collection and behavioural updates.  In the
+        # full-shard engine collection already ran in the workers;
+        # _collect_status then just replays their op logs, and the
+        # worker-side seconds were accumulated at merge time.
+        collect_started = time.perf_counter()
         self._collect_status(events_by_user, start_s, end_s)
+        result.timing["collection_s"] = result.timing.get("collection_s", 0.0) + (
+            time.perf_counter() - collect_started
+        )
         self._update_preferences(events_by_user)
         self._update_popularity(events_by_user)
 
@@ -1005,10 +1108,33 @@ class StreamingSimulator:
         merged in sorted scoped-group order, so collector appends, usage
         totals and transcode requests are assembled identically for every
         worker count.
+
+        With ``shard_stages="full"`` and more than one worker the whole
+        interval — stage 1 included — is delegated to the shard runtime
+        instead (see :meth:`_run_full_shard_interval`); results are
+        bit-identical between the two paths.
         """
+        if (
+            self.config.shard_stages == "full"
+            and self.config.playback_workers > 1
+            and len(grouping) > 1
+        ):
+            self._run_full_shard_interval(
+                grouping,
+                start_s,
+                end_s,
+                interval_index,
+                result,
+                events_by_user,
+                transcode_requests,
+            )
+            return
+        stage_started = time.perf_counter()
         link_states = self._grouped_link_states(
             grouping, start_s, end_s, interval_index
         )
+        playback_started = time.perf_counter()
+        result.timing["stage1_s"] = playback_started - stage_started
         video_ids, _, category_indices, categories = self.catalog.sampling_arrays()
         tasks: List[GroupPlaybackTask] = []
         for group_id in sorted(grouping):
@@ -1065,6 +1191,125 @@ class StreamingSimulator:
                 (self.catalog.get(video_id), task.representation, transmitted)
                 for video_id, transmitted in requests
             ]
+        result.timing["playback_s"] = time.perf_counter() - playback_started
+
+    def _run_full_shard_interval(
+        self,
+        grouping: Mapping[int, Sequence[int]],
+        start_s: float,
+        end_s: float,
+        interval_index: int,
+        result: IntervalResult,
+        events_by_user: Dict[int, List[ViewingEvent]],
+        transcode_requests: Dict[int, List[tuple]],
+    ) -> None:
+        """Run every stage of one interval on the shard worker pool.
+
+        The parent's only jobs are publishing the interval plan (member
+        layout, per-member preference weights against the live preferences,
+        per-group sampling CDFs against the live popularity), mapping
+        ``(plan handle, group index)`` tasks over the pool, and merging the
+        outcomes in sorted scoped-group order — the same order the serial
+        path uses, so the assembled result is bit-identical.  Twin state
+        stays parent-side: workers return collection op logs that
+        :meth:`_collect_status` replays.
+        """
+        pool = self._playback_pool()
+        plan_started = time.perf_counter()
+        categories = tuple(self.config.categories)
+        sorted_group_ids = sorted(grouping)
+        members = [list(grouping[gid]) for gid in sorted_group_ids]
+        offsets = np.zeros(len(members) + 1, dtype=np.int64)
+        np.cumsum([len(m) for m in members], out=offsets[1:])
+        user_ids = np.array(
+            [uid for member_ids in members for uid in member_ids], dtype=np.int64
+        )
+        serving = np.array(
+            [
+                self.users[uid].serving_bs_id
+                for member_ids in members
+                for uid in member_ids
+            ],
+            dtype=np.int64,
+        )
+        weights = np.vstack(
+            [
+                self.users[uid].preference.as_array(categories)
+                for member_ids in members
+                for uid in member_ids
+            ]
+        )
+        sampling_video_ids, _, _, _ = self.catalog.sampling_arrays()
+        cdf = np.empty((len(members), sampling_video_ids.shape[0]))
+        for row, member_ids in enumerate(members):
+            cdf[row] = sampling_cdf(
+                self._video_sampling_probabilities(
+                    self._group_preference(member_ids)
+                )
+            )
+        handle = self._interval_plan().publish(
+            epoch=self._population_epoch,
+            interval_index=interval_index,
+            start_s=start_s,
+            end_s=end_s,
+            offsets=offsets,
+            group_ids=np.array(sorted_group_ids, dtype=np.int64),
+            user_ids=user_ids,
+            serving=serving,
+            weights=weights,
+            cdf=cdf,
+        )
+        plan_s = time.perf_counter() - plan_started
+
+        chunksize = max(
+            1, len(sorted_group_ids) // (self.config.playback_workers * 4)
+        )
+        outcomes = list(
+            pool.map(
+                _run_shard_task,
+                [(handle, index) for index in range(len(sorted_group_ids))],
+                chunksize=chunksize,
+            )
+        )
+
+        merge_started = time.perf_counter()
+        stage1_s = playback_s = collection_s = 0.0
+        pending: Dict[int, list] = {}
+        for member_ids, outcome in zip(members, outcomes):
+            (
+                group_id,
+                usage,
+                events,
+                requests,
+                representation,
+                mean_snrs,
+                collection,
+                stage_times,
+            ) = outcome
+            result.usage_by_group[group_id] = usage
+            for uid, user_events in events.items():
+                events_by_user[uid].extend(user_events)
+            transcode_requests[group_id] = [
+                (self.catalog.get(video_id), representation, transmitted)
+                for video_id, transmitted in requests
+            ]
+            if mean_snrs is not None:  # inline plan: SNR rode the outcome
+                result.mean_snr_by_user.update(zip(member_ids, mean_snrs))
+            pending.update(collection)
+            stage1_s += stage_times[0]
+            playback_s += stage_times[1]
+            collection_s += stage_times[2]
+        if handle.names is not None:
+            snr = self._interval_plan().mean_snr(handle)
+            result.mean_snr_by_user.update(
+                (int(uid), float(value)) for uid, value in zip(user_ids, snr)
+            )
+        self._pending_collection = pending
+        result.timing["stage1_s"] = stage1_s
+        result.timing["playback_s"] = (
+            plan_s + playback_s + (time.perf_counter() - merge_started)
+        )
+        result.timing["collection_s"] = collection_s
 
     def _controller_mean_snr(self, time_s: float):
         """Lazy per-user serving-cell mean-SNR lookup for controller apps.
@@ -1288,6 +1533,24 @@ class StreamingSimulator:
         start_s: float,
         end_s: float,
     ) -> None:
+        if self._pending_collection is not None:
+            # Full-shard engine: the workers already ran the collector from
+            # each user's (interval, user) stream; replay their op logs onto
+            # the real twins, in population order, exactly as the serial
+            # walk would have appended.
+            pending = self._pending_collection
+            self._pending_collection = None
+            for uid in self.users:
+                twin = self.twins.twin(uid)
+                for op in pending.get(uid, ()):
+                    if op[0] == "batch":
+                        twin.record_batch(op[1], op[2], op[3])
+                    else:  # ("watches", kept indices into the user's events)
+                        events = events_by_user.get(uid, [])
+                        twin.record_watches(
+                            [events[index].record for index in op[1]]
+                        )
+            return
         report_cells = self.controller is not None
         grouped = self._grouped
         interval_index = self.clock.current_interval
@@ -1295,7 +1558,9 @@ class StreamingSimulator:
             # Grouped mode hands the collector a per-(interval, user) stream
             # so one user's channel-report draws never depend on how many
             # samples any other user (or any group) consumed; the shared
-            # generator remains the compat/fast behaviour.
+            # generator remains the compat/fast behaviour.  The same stream
+            # also takes the drop decisions (keep_rng), making a lossy
+            # policy's draw walk worker-replayable.
             rng = (
                 self._registry.collection_stream(interval_index, uid)
                 if grouped
@@ -1310,6 +1575,7 @@ class StreamingSimulator:
                 start_s,
                 end_s,
                 rng=rng,
+                keep_rng=rng if grouped else None,
                 serving_cell=user.serving_bs_id if report_cells else None,
             )
 

@@ -73,12 +73,15 @@ class StatusCollector:
         self.interleaved_snr_draws = interleaved_snr_draws
 
     # ------------------------------------------------------------ sampling
-    def _keep_sample(self) -> bool:
+    def _keep_sample(self, rng: Optional[np.random.Generator] = None) -> bool:
         if self.policy.drop_probability == 0.0:
             return True
-        return self._rng.random() >= self.policy.drop_probability
+        rng = rng if rng is not None else self._rng
+        return rng.random() >= self.policy.drop_probability
 
-    def _keep_mask(self, count: int) -> np.ndarray:
+    def _keep_mask(
+        self, count: int, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
         """Vectorized :meth:`_keep_sample`: one boolean per sample.
 
         Draws the same generator values a loop of scalar calls would, and
@@ -86,7 +89,8 @@ class StatusCollector:
         """
         if self.policy.drop_probability == 0.0:
             return np.ones(count, dtype=bool)
-        return self._rng.random(count) >= self.policy.drop_probability
+        rng = rng if rng is not None else self._rng
+        return rng.random(count) >= self.policy.drop_probability
 
     def _sample_times(self, start_s: float, end_s: float, period_s: float) -> np.ndarray:
         effective_period = period_s * self.policy.period_multiplier
@@ -97,10 +101,17 @@ class StatusCollector:
         # the channel collection consumes for this user.
         return time_grid(start_s, end_s, effective_period)
 
-    def _kept_times(self, udt: UserDigitalTwin, attribute: str, start_s: float, end_s: float) -> np.ndarray:
+    def _kept_times(
+        self,
+        udt: UserDigitalTwin,
+        attribute: str,
+        start_s: float,
+        end_s: float,
+        keep_rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
         spec = udt.attributes[attribute]
         times = self._sample_times(start_s, end_s, spec.collection_period_s)
-        return times[self._keep_mask(times.shape[0])]
+        return times[self._keep_mask(times.shape[0], keep_rng)]
 
     def collect_interval(
         self,
@@ -112,6 +123,7 @@ class StatusCollector:
         start_s: float,
         end_s: float,
         rng: Optional[np.random.Generator] = None,
+        keep_rng: Optional[np.random.Generator] = None,
         serving_cell: Optional[int] = None,
     ) -> None:
         """Collect one reservation interval's worth of status for one user.
@@ -127,6 +139,14 @@ class StatusCollector:
         the property that lets collection results merge deterministically
         no matter how the interval itself was executed.  The legacy modes
         pass their shared generator, preserving the historical streams.
+
+        ``keep_rng`` is the stream drop decisions consume.  It defaults to
+        the collector's own generator (the historical behaviour, shared
+        across users and therefore order-dependent).  The grouped engine
+        passes the same per-(interval, user) stream as ``rng``, so with a
+        lossy policy the interleaved keep/sample draws are a deterministic
+        per-user walk a shard worker can replay exactly.  With
+        ``drop_probability == 0`` neither generator is touched for keeps.
         """
         if end_s <= start_s:
             raise ValueError("end_s must be greater than start_s")
@@ -135,7 +155,7 @@ class StatusCollector:
 
         # Channel condition: sample SNR at the attribute's own frequency.
         if CHANNEL_CONDITION in udt.attributes:
-            times = self._kept_times(udt, CHANNEL_CONDITION, start_s, end_s)
+            times = self._kept_times(udt, CHANNEL_CONDITION, start_s, end_s, keep_rng)
             if times.size:
                 positions = mobility.positions(times)
                 snrs = base_station.sample_snr_db_batch(
@@ -145,7 +165,7 @@ class StatusCollector:
 
         # Location.
         if LOCATION in udt.attributes:
-            times = self._kept_times(udt, LOCATION, start_s, end_s)
+            times = self._kept_times(udt, LOCATION, start_s, end_s, keep_rng)
             if times.size:
                 udt.record_batch(LOCATION, times + delay, mobility.positions(times))
 
@@ -155,7 +175,7 @@ class StatusCollector:
                 kept_records = [event.record for event in events]
             else:
                 kept_records = [
-                    event.record for event in events if self._keep_sample()
+                    event.record for event in events if self._keep_sample(keep_rng)
                 ]
             udt.record_watches(kept_records)
 
@@ -168,7 +188,7 @@ class StatusCollector:
                     f"preference dimension {vector.shape[0]} does not match the UDT "
                     f"attribute dimension {expected_dim}"
                 )
-            times = self._kept_times(udt, PREFERENCE, start_s, end_s)
+            times = self._kept_times(udt, PREFERENCE, start_s, end_s, keep_rng)
             if times.size:
                 udt.record_batch(
                     PREFERENCE, times + delay, np.tile(vector, (times.shape[0], 1))
@@ -176,7 +196,7 @@ class StatusCollector:
 
         # Serving cell (only collected when the RAN controller reports it).
         if serving_cell is not None and SERVING_CELL in udt.attributes:
-            times = self._kept_times(udt, SERVING_CELL, start_s, end_s)
+            times = self._kept_times(udt, SERVING_CELL, start_s, end_s, keep_rng)
             if times.size:
                 udt.record_batch(
                     SERVING_CELL,

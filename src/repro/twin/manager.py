@@ -104,15 +104,18 @@ class DigitalTwinManager:
         which is also the row order of everything derived downstream
         (compressed features, cluster labels, multicast groups).
 
-        ``batched`` selects the resampling engine.  ``True`` runs the
+        ``batched`` selects the resampling engine.  ``True`` runs the pure
         cross-user batched path (:meth:`batched_feature_tensor`): one
         ``searchsorted`` per *attribute* over the stacked population instead
         of one per (user, attribute), bypassing the per-user cache.
         ``False`` forces the per-user (cache-backed) path.  The default
-        ``None`` resolves to batched exactly when the feature cache is
-        disabled — with the cache on, sliding-window reuse beats re-batching
-        every call.  Both paths produce bit-identical tensors (zero-order
-        hold is deterministic), pinned by the equivalence tests.
+        ``None`` runs the hybrid: rows the per-user cache can prove
+        unchanged are served from it, and only the remaining (user, tail)
+        rows go through one batched resample per attribute — so a fresh
+        window (warm-up) gets full batching while a sliding window pays only
+        for its new rows (plain batched when the cache is disabled).  All
+        paths produce bit-identical tensors (zero-order hold is
+        deterministic), pinned by the equivalence tests.
         """
         ids = list(user_ids) if user_ids is not None else self.user_ids()
         if not ids:
@@ -123,7 +126,9 @@ class DigitalTwinManager:
             raise ValueError("num_steps must be positive")
         times = np.linspace(start_s, end_s, num_steps, endpoint=False)
         if batched is None:
-            batched = not self.feature_cache_enabled
+            if self.feature_cache_enabled:
+                return self._cached_batched_tensor(ids, times, attribute_order)
+            return self._batched_feature_tensor(ids, times, attribute_order)
         if batched:
             return self._batched_feature_tensor(ids, times, attribute_order)
         matrices = [self._user_feature_matrix(uid, times, attribute_order) for uid in ids]
@@ -216,6 +221,139 @@ class DigitalTwinManager:
                 out[~filled] = 0.0
             column += dim
         return tensor
+
+    def _cached_batched_tensor(
+        self,
+        ids: Sequence[int],
+        times: np.ndarray,
+        attribute_order: Optional[Sequence[str]] = None,
+    ) -> np.ndarray:
+        """Cache-cooperative batched tensor: batch only unprovable rows.
+
+        Per user, :meth:`_reusable_rows` proves how many leading grid rows
+        the cached matrix still covers; those are copied (or, on a full hit,
+        the cached matrix is returned uncopied, exactly like the per-user
+        path).  The remaining ragged (user, tail-rows) set is resampled with
+        the same offset-stacked ``searchsorted`` trick as
+        :meth:`_batched_feature_tensor`, one dispatch sequence per attribute
+        — variable-length query blocks per user instead of a fixed grid.
+        Cache entries are refreshed with the per-user path's semantics, so
+        interleaving the two paths stays consistent.
+        """
+        twins = [self.twin(uid) for uid in ids]
+        order = (
+            tuple(attribute_order)
+            if attribute_order is not None
+            else tuple(twins[0].attributes)
+        )
+        num_steps = times.shape[0]
+        stores_by_user = [[twin.store(name) for name in order] for twin in twins]
+        width = int(sum(store.dimension for store in stores_by_user[0]))
+        plans = [
+            self._reusable_rows(uid, times, order, stores)
+            for uid, stores in zip(ids, stores_by_user)
+        ]
+        matrices: List[np.ndarray] = []
+        stale: List[int] = []
+        for index, (reused, shift, entry) in enumerate(plans):
+            if reused == num_steps:
+                # Full hit: serve the cached matrix as-is, counters
+                # untouched (see _user_feature_matrix).
+                matrices.append(entry.matrix)
+                continue
+            matrix = np.empty((num_steps, width))
+            if reused:
+                matrix[:reused] = entry.matrix[shift : shift + reused]
+            matrices.append(matrix)
+            stale.append(index)
+        if stale:
+            self._batched_tail_resample(
+                times, order, stores_by_user, plans, matrices, stale
+            )
+            for index in stale:
+                entry = plans[index][2]
+                stores = stores_by_user[index]
+                if entry is not None and entry.order == order:
+                    entry.times = times
+                    entry.matrix = matrices[index]
+                    for name, store in zip(order, stores):
+                        entry.appended[name] = store.append_count
+                        entry.discarded[name] = store.discard_count
+                else:
+                    self._feature_cache[ids[index]] = _FeatureCacheEntry(
+                        order=order,
+                        times=times,
+                        matrix=matrices[index],
+                        appended={
+                            name: store.append_count
+                            for name, store in zip(order, stores)
+                        },
+                        discarded={
+                            name: store.discard_count
+                            for name, store in zip(order, stores)
+                        },
+                    )
+        return np.stack(matrices, axis=0)
+
+    def _batched_tail_resample(
+        self,
+        times: np.ndarray,
+        order: Tuple[str, ...],
+        stores_by_user: Sequence[Sequence],
+        plans: Sequence[tuple],
+        matrices: Sequence[np.ndarray],
+        stale: Sequence[int],
+    ) -> None:
+        """Fill the non-reusable tail rows of the stale users, batched.
+
+        Same arithmetic as :meth:`_batched_feature_tensor` (offset-shifted
+        block concatenation, one ``searchsorted`` + gather per attribute,
+        per-block zero-order-hold clamp via ``np.repeat``), generalised to
+        a different query count per user.
+        """
+        num_steps = times.shape[0]
+        column = 0
+        for position, name in enumerate(order):
+            stores = [stores_by_user[index][position] for index in stale]
+            dim = stores[0].dimension
+            outs = [
+                matrices[index][plans[index][0] :, column : column + dim]
+                for index in stale
+            ]
+            sizes = np.array([len(store) for store in stores])
+            filled = sizes > 0
+            for out, keep in zip(outs, filled):
+                if not keep:
+                    out[:] = 0.0  # empty store resamples to zeros
+            if filled.any():
+                kept = [j for j, keep in enumerate(filled) if keep]
+                time_blocks = [stores[j].time_view() for j in kept]
+                value_blocks = [stores[j].value_view() for j in kept]
+                query_blocks = [times[plans[stale[j]][0] :] for j in kept]
+                low = min(
+                    min(float(block[0]) for block in query_blocks),
+                    min(float(block[0]) for block in time_blocks),
+                )
+                high = max(
+                    max(float(block[-1]) for block in query_blocks),
+                    max(float(block[-1]) for block in time_blocks),
+                )
+                offset = (high - low) + 1.0
+                shifts = offset * np.arange(len(kept))
+                stacked_times = np.concatenate(
+                    [block + shift for block, shift in zip(time_blocks, shifts)]
+                )
+                queries = np.concatenate(
+                    [block + shift for block, shift in zip(query_blocks, shifts)]
+                )
+                rows = stacked_times.searchsorted(queries, side="right") - 1
+                counts = np.array([block.shape[0] for block in query_blocks])
+                starts = np.concatenate(([0], np.cumsum(sizes[filled])))[:-1]
+                np.maximum(rows, np.repeat(starts, counts), out=rows)
+                gathered = np.concatenate(value_blocks, axis=0)[rows]
+                for j, piece in zip(kept, np.split(gathered, np.cumsum(counts)[:-1])):
+                    outs[j][:] = piece
+            column += dim
 
     def user_feature_matrix(
         self,

@@ -1,0 +1,384 @@
+"""Tests for the full-interval sharded engine (PR 8).
+
+Covers the tentpole and its satellites:
+
+* ``shard_stages="full"``: the whole interval (channel draws, playback,
+  status collection) runs on the worker pool, and the results are
+  bit-identical to the serial grouped engine — pinned here at 10k users,
+  including a shuffled-grouping run and the inline (non-shm) fallback,
+* persistent worker population state: mobility models and preference
+  state live across tasks inside each worker, keyed by a population
+  epoch that ``add_user``/``remove_user`` bump — workers prune by set
+  difference on the next task instead of rebuilding,
+* shared-memory plan hygiene: every ``repro-shard-*`` segment the plan
+  publishes is unlinked by ``close()`` even when the run dies mid-flight,
+  and ``close()`` is idempotent,
+* per-stage timing: every engine path reports ``stage1_s`` /
+  ``playback_s`` / ``collection_s`` on ``IntervalResult.timing``, the
+  scheme accumulates ``predict_s``, and the scenario runner aggregates
+  both into ``RunResult.timing`` (a new top-level ``to_dict`` key that
+  stays outside the golden digests),
+* hybrid feature tensor: ``feature_tensor(batched=None)`` cooperates
+  with the per-user cache (full hits are served from it; only stale
+  tails go through the batched resample) and stays bit-identical to the
+  per-user and pure-batched paths.
+"""
+
+from __future__ import annotations
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro import SimulationConfig, StreamingSimulator
+from repro.core.config import SchemeConfig
+from repro.core.pipeline import DTResourcePredictionScheme
+from repro.sim.shard import SEGMENT_PREFIX, _probe_shard_worker
+
+STAGE_KEYS = ("stage1_s", "playback_s", "collection_s")
+
+
+# ------------------------------------------------------------------ helpers
+def _config(workers: int = 1, **overrides) -> SimulationConfig:
+    options = dict(
+        num_users=40,
+        num_videos=30,
+        num_intervals=2,
+        interval_s=60.0,
+        seed=23,
+        channel_draw_mode="grouped",
+        playback_workers=workers,
+    )
+    options.update(overrides)
+    return SimulationConfig(**options)
+
+
+def _grouping(ids, group_size: int, shuffle_seed=None):
+    """Chunk ``ids`` into fixed-size groups.
+
+    ``shuffle_seed`` permutes the *insertion order* of the grouping dict
+    (the order groups are dispatched in), never the membership: grouped
+    streams must make dispatch order invisible in the results.
+    """
+    ids = list(ids)
+    groups = {}
+    for index in range(0, len(ids), group_size):
+        groups[index // group_size] = ids[index : index + group_size]
+    if shuffle_seed is not None:
+        keys = list(groups)
+        np.random.default_rng(shuffle_seed).shuffle(keys)
+        groups = {key: groups[key] for key in keys}
+    return groups
+
+
+def _fingerprint(result) -> tuple:
+    """Everything an interval produced, in a comparable form."""
+    return (
+        result.total_traffic_bits,
+        result.total_resource_blocks,
+        result.total_computing_cycles,
+        tuple(sorted(result.mean_snr_by_user.items())),
+        tuple(
+            (
+                gid,
+                tuple(usage.member_ids),
+                usage.traffic_bits,
+                usage.efficiency_bps_hz,
+                usage.representation_name,
+                usage.resource_blocks,
+                usage.computing_cycles,
+                usage.videos_played,
+                usage.engagement_seconds,
+            )
+            for gid, usage in sorted(result.usage_by_group.items())
+        ),
+        tuple(
+            (uid, tuple(events))
+            for uid, events in sorted(result.events_by_user.items())
+        ),
+    )
+
+
+def _shard_segments() -> list:
+    return glob.glob(f"/dev/shm/{SEGMENT_PREFIX}-*")
+
+
+# ------------------------------------------------- 10k-user bit identity
+class TestFullShardBitIdentity:
+    def test_ten_thousand_users_serial_equals_sharded(self):
+        """The acceptance pin, at scale: one 10k-user interval, serial vs
+        2-worker full-shard vs 2-worker with shuffled grouping insertion
+        order, plus the downstream twin tensor (collection replay included).
+        """
+
+        def run(workers: int, shuffle_seed=None):
+            config = _config(
+                workers,
+                num_users=10_000,
+                num_videos=60,
+                num_intervals=1,
+                interval_s=30.0,
+                seed=17,
+            )
+            with StreamingSimulator(config) as sim:
+                grouping = _grouping(sim.user_ids(), 200, shuffle_seed)
+                fingerprint = _fingerprint(sim.run_interval(grouping))
+                tensor = sim.twins.feature_tensor(
+                    0.0, config.interval_s, num_steps=8
+                )
+            return fingerprint, tensor
+
+        serial, serial_tensor = run(1)
+        sharded, sharded_tensor = run(2)
+        assert sharded == serial
+        np.testing.assert_array_equal(sharded_tensor, serial_tensor)
+        shuffled, shuffled_tensor = run(2, shuffle_seed=5)
+        # Shuffled insertion order reorders the groups, not their members:
+        # every per-group and per-user record must still match exactly.
+        assert shuffled == serial
+        np.testing.assert_array_equal(shuffled_tensor, serial_tensor)
+
+    def test_inline_buffers_match_shared_memory(self):
+        """``shared_memory_buffers=False`` pickles the plan arrays instead
+        of publishing shm segments; results must be bit-identical."""
+
+        def run(**overrides):
+            with StreamingSimulator(_config(2, **overrides)) as sim:
+                grouping = _grouping(sim.user_ids(), 10)
+                return [
+                    _fingerprint(sim.run_interval(grouping)) for _ in range(2)
+                ]
+
+        assert run(shared_memory_buffers=False) == run()
+
+    def test_full_shard_matches_legacy_playback_sharding(self):
+        """``shard_stages`` never changes results, only where stages run."""
+
+        def run(stages):
+            with StreamingSimulator(_config(2, shard_stages=stages)) as sim:
+                grouping = _grouping(sim.user_ids(), 10)
+                return [
+                    _fingerprint(sim.run_interval(grouping)) for _ in range(2)
+                ]
+
+        assert run("full") == run("playback")
+
+
+# ------------------------------------------------ worker population state
+class TestWorkerPopulationEpochs:
+    def test_epoch_resync_after_churn(self):
+        """Mid-run churn bumps the epoch; workers prune removed users from
+        their persistent mobility caches on the next task they execute."""
+        config = _config(2, num_users=24, num_intervals=3)
+        with StreamingSimulator(config) as sim:
+            sim.run_interval(_grouping(sim.user_ids(), 4))
+            removed = sim.user_ids()[5]
+            sim.remove_user(removed)
+            added = sim.add_user()
+            epoch = sim._population_epoch
+            assert epoch == 2  # one remove + one add
+            sim.run_interval(_grouping(sim.user_ids(), 4))
+            probes = sim._pool.map(_probe_shard_worker, range(8))
+            synced = [p for p in probes if p[1] == epoch]
+            # At least one worker ran a task at the new epoch, and every
+            # worker that did has dropped the removed user's state.
+            assert synced, "no worker observed the new population epoch"
+            for _pid, _epoch, cached in synced:
+                assert removed not in cached
+            assert added in sim.user_ids()
+
+    def test_churned_run_matches_serial(self):
+        """Bit-identity holds across churn, not just static populations."""
+
+        def run(workers: int):
+            with StreamingSimulator(
+                _config(workers, num_users=20, num_intervals=3)
+            ) as sim:
+                fingerprints = [_fingerprint(sim.run_interval(_grouping(sim.user_ids(), 5)))]
+                sim.remove_user(sim.user_ids()[3])
+                sim.add_user()
+                fingerprints += [
+                    _fingerprint(sim.run_interval(_grouping(sim.user_ids(), 5)))
+                    for _ in range(2)
+                ]
+            return fingerprints
+
+        assert run(2) == run(1)
+
+
+# ------------------------------------------------------- shm plan hygiene
+class TestSharedMemoryHygiene:
+    def test_no_segment_leak_after_crashed_run(self):
+        """A run that dies mid-interval must not leak /dev/shm segments:
+        the context manager's ``close()`` unlinks every published buffer."""
+        before = set(_shard_segments())
+        with pytest.raises(RuntimeError, match="mid-run crash"):
+            with StreamingSimulator(_config(2, num_intervals=2)) as sim:
+                sim.run_interval(_grouping(sim.user_ids(), 10))
+                assert set(_shard_segments()) - before, (
+                    "expected live repro-shard segments during the run"
+                )
+                raise RuntimeError("mid-run crash")
+        assert set(_shard_segments()) == before
+        assert sim._pool is None
+        assert sim._plan is None
+
+    def test_close_is_idempotent_and_releases_segments(self):
+        sim = StreamingSimulator(_config(2, num_intervals=1))
+        before = set(_shard_segments())
+        sim.run_interval(_grouping(sim.user_ids(), 10))
+        sim.close()
+        assert set(_shard_segments()) == before
+        sim.close()  # second close must be a no-op, not a double-unlink
+
+
+# ------------------------------------------------------- per-stage timing
+class TestStageTiming:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(playback_workers=1, channel_draw_mode="compat"),
+            dict(playback_workers=1, channel_draw_mode="fast"),
+            dict(playback_workers=1, channel_draw_mode="grouped"),
+            dict(playback_workers=2),
+        ],
+        ids=["compat", "fast", "grouped-serial", "grouped-sharded"],
+    )
+    def test_every_engine_path_reports_stage_times(self, overrides):
+        options = dict(
+            num_users=20,
+            num_videos=30,
+            num_intervals=1,
+            interval_s=60.0,
+            seed=23,
+        )
+        options.update(overrides)
+        with StreamingSimulator(SimulationConfig(**options)) as sim:
+            result = sim.run_interval(_grouping(sim.user_ids(), 10))
+        for key in STAGE_KEYS:
+            assert key in result.timing, f"missing {key}"
+            assert result.timing[key] >= 0.0
+
+    def test_scheme_accumulates_predict_time(self):
+        sim = StreamingSimulator(
+            _config(1, num_users=8, num_videos=20, num_intervals=3)
+        )
+        with DTResourcePredictionScheme(
+            sim,
+            SchemeConfig(
+                warmup_intervals=2,
+                cnn_epochs=2,
+                ddqn_episodes=2,
+                mc_rollouts=2,
+                history_intervals=2,
+                min_groups=2,
+                max_groups=3,
+            ),
+            k_strategy="fixed",
+        ) as scheme:
+            scheme.fixed_k = 2
+            scheme.run(num_intervals=1)
+            assert scheme.timing["predict_s"] > 0.0
+
+    def test_run_result_exports_timing(self):
+        from repro.scenario import run_spec
+        from repro.scenario.spec import (
+            EngineSpec,
+            PopulationSpec,
+            ScenarioSpec,
+        )
+
+        spec = ScenarioSpec(
+            name="timing-probe",
+            mode="playback",
+            num_intervals=2,
+            population=PopulationSpec(num_users=12),
+            engine=EngineSpec(channel_draw_mode="grouped", playback_workers=2),
+            seed=11,
+        )
+        result = run_spec(spec)
+        for key in STAGE_KEYS:
+            assert result.timing[key] >= 0.0
+        exported = result.to_dict()
+        assert set(STAGE_KEYS) <= set(exported["timing"])
+        # Timing is additive metadata: the digest-hashed keys are untouched.
+        assert "timing" not in exported["intervals"][0]
+
+
+# ------------------------------------------------- hybrid feature tensor
+class TestHybridFeatureTensor:
+    def _simulator(self, **overrides):
+        return StreamingSimulator(
+            _config(1, num_users=10, num_intervals=3, **overrides)
+        )
+
+    def test_hybrid_matches_per_user_and_batched(self):
+        """All three resampling engines must agree bit-for-bit, on fresh
+        windows (warm-up shape) and sliding windows (cache-hit shape)."""
+        with self._simulator() as sim:
+            for _ in range(2):
+                sim.run_interval(_grouping(sim.user_ids(), 5))
+            windows = [(0.0, 120.0), (30.0, 90.0), (60.0, 120.0), (60.0, 120.0)]
+            for start, end in windows:
+                hybrid = sim.twins.feature_tensor(start, end, num_steps=16)
+                per_user = sim.twins.feature_tensor(
+                    start, end, num_steps=16, batched=False
+                )
+                batched = sim.twins.feature_tensor(
+                    start, end, num_steps=16, batched=True
+                )
+                np.testing.assert_array_equal(hybrid, per_user)
+                np.testing.assert_array_equal(hybrid, batched)
+
+    def test_hybrid_serves_full_hits_from_cache(self):
+        """A repeated identical window is answered from the per-user cache.
+
+        White-box: poison one user's cached matrix between two identical
+        calls — the second call must return the poisoned values, proving
+        the row came from the cache and not a fresh resample.
+        """
+        with self._simulator() as sim:
+            sim.run_interval(_grouping(sim.user_ids(), 5))
+            sim.twins.feature_tensor(0.0, 60.0, num_steps=16)
+            uid = sim.user_ids()[0]
+            sim.twins._feature_cache[uid].matrix[:] = -123.0
+            repeated = sim.twins.feature_tensor(0.0, 60.0, num_steps=16)
+            np.testing.assert_array_equal(repeated[0], -123.0)
+            # Fresh resamples still replace the poison once the window moves.
+            del sim.twins._feature_cache[uid]
+            clean = sim.twins.feature_tensor(0.0, 60.0, num_steps=16)
+            assert not np.any(clean[0] == -123.0) or not np.array_equal(
+                clean[0], repeated[0]
+            )
+
+    def test_hybrid_survives_churn(self):
+        with self._simulator() as sim:
+            sim.run_interval(_grouping(sim.user_ids(), 5))
+            sim.twins.feature_tensor(0.0, 60.0, num_steps=16)
+            sim.remove_user(sim.user_ids()[2])
+            sim.add_user()  # fresh user: empty stores, no cache entry
+            sim.run_interval(_grouping(sim.user_ids(), 5))
+            hybrid = sim.twins.feature_tensor(30.0, 120.0, num_steps=16)
+            per_user = sim.twins.feature_tensor(
+                30.0, 120.0, num_steps=16, batched=False
+            )
+            np.testing.assert_array_equal(hybrid, per_user)
+
+
+# ------------------------------------------------------ config validation
+class TestShardStagesConfig:
+    def test_defaults_follow_draw_mode(self):
+        assert SimulationConfig().shard_stages == "playback"  # compat default
+        assert (
+            SimulationConfig(channel_draw_mode="grouped").shard_stages == "full"
+        )
+        assert SimulationConfig(playback_workers=2).shard_stages == "full"
+
+    def test_unknown_stage_mode_is_rejected(self):
+        with pytest.raises(ValueError, match="shard_stages"):
+            SimulationConfig(channel_draw_mode="grouped", shard_stages="half")
+
+    def test_full_sharding_requires_grouped_draws(self):
+        with pytest.raises(ValueError, match="grouped"):
+            SimulationConfig(channel_draw_mode="compat", shard_stages="full")
