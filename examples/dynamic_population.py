@@ -54,7 +54,7 @@ def main() -> None:
     scheme.warm_up()
 
     print("interval  users  arrivals  departures  groups  predicted  actual  accuracy")
-    for step in range(8):
+    for _step in range(8):
         # Population churn between intervals: up to two arrivals, one departure.
         arrivals = int(rng.integers(0, 3))
         for _ in range(arrivals):

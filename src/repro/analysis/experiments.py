@@ -86,15 +86,15 @@ class Fig3Result:
                 "group_id": int(profile.group_id),
                 "member_ids": [int(uid) for uid in profile.member_ids],
                 "cumulative_swiping": {
-                    category: float(value)
+                    str(category): float(value)
                     for category, value in profile.cumulative_swiping.items()
                 },
                 "engagement_share": {
-                    category: float(value)
+                    str(category): float(value)
                     for category, value in profile.engagement_share.items()
                 },
                 "swipe_probability": {
-                    category: float(value)
+                    str(category): float(value)
                     for category, value in profile.swipe_probability.items()
                 },
             },

@@ -13,7 +13,7 @@ module provides the empirical estimators that turn raw watch records into:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Sequence
+from typing import Dict, Iterable, Sequence
 
 import numpy as np
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from repro.analysis import (
     format_table,
@@ -141,6 +141,20 @@ def _add_apps_parser(subparsers) -> None:
     )
 
 
+def _add_lint_parser(subparsers) -> None:
+    # The heavy lifting (and the full flag set) lives in repro.lint.cli so
+    # the analyzer stays usable as a library; this module only mounts it.
+    from repro.lint.cli import add_lint_parser
+
+    add_lint_parser(subparsers)
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run_lint_command
+
+    return run_lint_command(args)
+
+
 def _add_simple_parser(subparsers, name: str, help_text: str) -> None:
     parser = subparsers.add_parser(name, help=help_text)
     parser.add_argument("--seed", type=int, default=None)
@@ -170,6 +184,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_parser(subparsers)
     _add_scenarios_parser(subparsers)
     _add_apps_parser(subparsers)
+    _add_lint_parser(subparsers)
     _add_fig3_parser(subparsers)
     _add_simple_parser(subparsers, "grouping-ablation", "DDQN-K vs silhouette vs fixed-K grouping")
     _add_simple_parser(subparsers, "staleness-ablation", "accuracy vs digital-twin staleness")
@@ -466,6 +481,7 @@ _COMMANDS = {
     "run": _run_scenario_command,
     "scenarios": _scenarios_command,
     "apps": _apps_command,
+    "lint": _run_lint,
     "fig3": _run_fig3,
     "grouping-ablation": _run_grouping,
     "staleness-ablation": _run_staleness,

@@ -11,7 +11,7 @@ sweep, fixed K) so the DDQN choice can be ablated.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np

@@ -12,12 +12,12 @@ consistent.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 import numpy as np
 
 from repro.behavior.preference import PreferenceVector
-from repro.video.catalog import Video, VideoCatalog
+from repro.video.catalog import VideoCatalog
 
 
 @dataclass

@@ -11,7 +11,7 @@ can be serialised to JSON.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 
 @dataclass
@@ -35,7 +35,8 @@ class VideoRecord:
             "duration_s": self.duration_s,
             "segment_duration_s": self.segment_duration_s,
             "segment_sizes_bits": {
-                name: list(map(float, sizes)) for name, sizes in self.segment_sizes_bits.items()
+                str(name): list(map(float, sizes))
+                for name, sizes in self.segment_sizes_bits.items()
             },
         }
 
@@ -63,7 +64,7 @@ class UserRecord:
     def to_dict(self) -> dict:
         return {
             "user_id": self.user_id,
-            "preference": {k: float(v) for k, v in self.preference.items()},
+            "preference": {str(k): float(v) for k, v in self.preference.items()},
         }
 
     @classmethod

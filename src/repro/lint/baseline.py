@@ -1,0 +1,89 @@
+"""Baseline store: grandfathered findings, keyed without line numbers.
+
+The committed baseline (``tests/goldens/lint_baseline.json``) records the
+findings that existed when the gate was introduced, keyed by ``(rule,
+path, enclosing scope, message)`` with an occurrence count — line numbers
+are excluded so edits elsewhere in a file never resurrect a grandfathered
+finding.  Applying the baseline splits a scan into *new* findings (fail
+the gate), *baselined* ones (reported only on request) and *stale* entries
+(baselined sites that no longer exist; pruned by ``--update-baseline``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.lint.findings import Finding
+
+_KEY_FIELDS = ("rule", "path", "context", "message")
+
+
+@dataclass
+class Baseline:
+    """Occurrence counts per baseline key."""
+
+    entries: Dict[Tuple[str, str, str, str], int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.entries.values())
+
+
+@dataclass
+class BaselineResult:
+    new: List[Finding]
+    baselined: List[Finding]
+    #: Keys present in the baseline but absent (or less frequent) in the
+    #: scan, with the unmatched count.
+    stale: List[Tuple[Tuple[str, str, str, str], int]]
+
+
+def load_baseline(path: Path) -> Baseline:
+    if not Path(path).exists():
+        return Baseline()
+    payload = json.loads(Path(path).read_text())
+    entries: Dict[Tuple[str, str, str, str], int] = {}
+    for entry in payload.get("entries", []):
+        key = tuple(str(entry[name]) for name in _KEY_FIELDS)
+        entries[key] = entries.get(key, 0) + int(entry.get("count", 1))
+    return Baseline(entries=entries)
+
+
+def save_baseline(path: Path, findings: List[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, line-free keys)."""
+    counts = Counter(finding.baseline_key for finding in findings)
+    entries = [
+        {
+            "rule": rule,
+            "path": relpath,
+            "context": context,
+            "message": message,
+            "count": count,
+        }
+        for (rule, relpath, context, message), count in sorted(counts.items())
+    ]
+    payload = {"version": 1, "entries": entries}
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def apply_baseline(findings: List[Finding], baseline: Baseline) -> BaselineResult:
+    remaining = dict(baseline.entries)
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    stale = sorted(
+        (key, count) for key, count in remaining.items() if count > 0
+    )
+    return BaselineResult(new=new, baselined=baselined, stale=stale)

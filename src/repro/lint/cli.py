@@ -1,0 +1,239 @@
+"""``repro lint`` — CLI glue over the static pass and the schema snapshot.
+
+Exit codes: ``0`` clean (every finding baselined, snapshot matches), ``1``
+new findings / schema drift / stale baseline entries, ``2`` usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.lint.baseline import Baseline, apply_baseline, load_baseline, save_baseline
+from repro.lint.context import LintConfig, LintContext
+from repro.lint.rules import run_rules
+from repro.lint import schema as schema_mod
+
+DEFAULT_BASELINE = "tests/goldens/lint_baseline.json"
+DEFAULT_SNAPSHOT = "tests/goldens/export_schema.json"
+
+
+def default_root() -> Path:
+    """The repository root, resolved from the installed package location.
+
+    ``src/repro/lint/cli.py`` -> repo root is three parents above the
+    package; fall back to the working directory when the package is not
+    laid out that way (e.g. an installed wheel) so ``--root`` can fix it.
+    """
+    package_root = Path(__file__).resolve().parents[3]
+    if (package_root / "src" / "repro").is_dir():
+        return package_root
+    return Path.cwd()
+
+
+def add_lint_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "lint",
+        help="determinism & shard-safety static analysis over src/",
+        description=(
+            "AST-based enforcement of the rng-registry, shard-purity, "
+            "shared-memory-lifecycle, export-canonicality and spec-drift "
+            "invariants.  A committed baseline grandfathers pre-existing "
+            "findings; anything new exits 1.  --schema instead runs every "
+            "registry scenario for one interval and diffs the key-tree of "
+            "its RunResult export against the committed snapshot."
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="repository root (default: discovered from the package path)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every finding as new",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from this scan (prunes stale entries)",
+    )
+    parser.add_argument(
+        "--show-baselined",
+        action="store_true",
+        help="also print grandfathered findings",
+    )
+    parser.add_argument(
+        "--schema",
+        action="store_true",
+        help="runtime mode: diff registry export key-trees vs the snapshot",
+    )
+    parser.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="PATH",
+        help=f"schema snapshot file (default: <root>/{DEFAULT_SNAPSHOT})",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="with --schema: rewrite the committed snapshot",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write findings (or the schema diff) as JSON to PATH ('-' for stdout)",
+    )
+
+
+def _emit_json(payload: dict, destination: Optional[str]) -> None:
+    if destination is None:
+        return
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if destination == "-":
+        print(text)
+    else:
+        Path(destination).write_text(text + "\n")
+
+
+def run_lint_command(args: argparse.Namespace) -> int:
+    root = Path(args.root).resolve() if args.root else default_root()
+    if not (root / "src").is_dir():
+        print(f"error: {root} has no src/ directory", file=sys.stderr)
+        return 2
+    if args.schema:
+        return _run_schema(args, root)
+    return _run_static(args, root)
+
+
+# ------------------------------------------------------------------ static
+def _run_static(args: argparse.Namespace, root: Path) -> int:
+    quiet = args.json == "-"
+    context = LintContext(LintConfig(root=root))
+    findings = run_rules(context)
+    baseline_path = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+
+    if args.update_baseline:
+        save_baseline(baseline_path, findings)
+        if not quiet:
+            print(
+                f"baseline rewritten: {len(findings)} finding(s) -> "
+                f"{baseline_path}"
+            )
+        _emit_json(
+            {"findings": [f.to_dict() for f in findings], "baselined": True},
+            args.json,
+        )
+        return 0
+
+    baseline = Baseline() if args.no_baseline else load_baseline(baseline_path)
+    result = apply_baseline(findings, baseline)
+    payload = {
+        "root": str(root),
+        "checked_modules": len(context.modules),
+        "worker_modules": sorted(context.worker_modules),
+        "new": [f.to_dict() for f in result.new],
+        "baselined_count": len(result.baselined),
+        "stale": [
+            {
+                "rule": rule,
+                "path": path,
+                "context": scope,
+                "message": message,
+                "count": count,
+            }
+            for (rule, path, scope, message), count in result.stale
+        ],
+    }
+    if args.show_baselined:
+        payload["baselined"] = [f.to_dict() for f in result.baselined]
+    _emit_json(payload, args.json)
+
+    if not quiet:
+        for finding in result.new:
+            print(finding.render())
+        if args.show_baselined:
+            for finding in result.baselined:
+                print(f"[baselined] {finding.render()}")
+        for (rule, path, scope, message), count in result.stale:
+            print(
+                f"stale baseline entry ({count}x): {rule} {path} "
+                f"[{scope}] {message}"
+            )
+        print(
+            f"repro lint: {len(result.new)} new, {len(result.baselined)} "
+            f"baselined, {len(result.stale)} stale baseline entr"
+            f"{'y' if len(result.stale) == 1 else 'ies'} over "
+            f"{len(context.modules)} modules"
+        )
+        if result.new:
+            print(
+                "new findings fail the gate; fix them or grandfather "
+                "deliberate ones with --update-baseline",
+                file=sys.stderr,
+            )
+        if result.stale:
+            print(
+                "stale entries mean the baseline no longer matches a fresh "
+                "scan; run --update-baseline",
+                file=sys.stderr,
+            )
+    return 1 if (result.new or result.stale) else 0
+
+
+# ------------------------------------------------------------------ schema
+def _run_schema(args: argparse.Namespace, root: Path) -> int:
+    quiet = args.json == "-"
+    snapshot_path = Path(args.snapshot) if args.snapshot else root / DEFAULT_SNAPSHOT
+    actual = schema_mod.snapshot_registry()
+    if args.update:
+        schema_mod.save_snapshot(snapshot_path, actual)
+        if not quiet:
+            print(
+                f"schema snapshot rewritten for "
+                f"{len(actual['scenarios'])} scenario(s) -> {snapshot_path}"
+            )
+        _emit_json(actual, args.json)
+        return 0
+    expected = schema_mod.load_snapshot(snapshot_path)
+    if expected is None:
+        print(
+            f"error: no committed snapshot at {snapshot_path}; run "
+            "repro lint --schema --update",
+            file=sys.stderr,
+        )
+        return 2
+    problems = schema_mod.diff_snapshot(expected, actual)
+    _emit_json(
+        {
+            "snapshot": str(snapshot_path),
+            "scenarios": sorted(actual["scenarios"]),
+            "problems": problems,
+        },
+        args.json,
+    )
+    if not quiet:
+        for problem in problems:
+            print(f"schema drift: {problem}")
+        print(
+            f"repro lint --schema: {len(problems)} problem(s) across "
+            f"{len(actual['scenarios'])} scenario(s)"
+        )
+        if problems:
+            print(
+                "export shapes drifted from the committed snapshot; if "
+                "intentional, run repro lint --schema --update and commit",
+                file=sys.stderr,
+            )
+    return 1 if problems else 0

@@ -1,0 +1,140 @@
+"""Export canonicality: ``to_dict`` payloads must JSON round-trip.
+
+Every exporter shares one contract (pinned by the runtime round-trip
+tests): ``json.loads(json.dumps(d)) == d``.  Two static failure modes
+break it — non-string mapping keys (json silently stringifies them, so the
+round-trip *changes* the payload) and numpy scalars (json either rejects
+them or serialises them as floats that no longer compare equal).
+
+``EXP001``
+    a dict key inside a ``to_dict`` method that is a non-string constant,
+    or a dynamic key expression not visibly coerced via ``str(...)`` / an
+    f-string.
+``EXP002``
+    a dict value inside a ``to_dict`` method that is a bare numpy
+    reduction (``.mean()``, ``np.sum(...)``, ...) with no ``float()`` /
+    ``int()`` / ``.item()`` coercion.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Tuple
+
+from repro.lint.context import LintContext, numpy_random_aliases, resolve_dotted
+from repro.lint.findings import Finding
+from repro.lint.rules import Rule, register_rule
+
+_EXPORT_METHOD_NAMES = ("to_dict",)
+
+#: Reductions that return numpy scalars when applied to arrays.
+_NUMPY_REDUCTIONS = {
+    "mean", "sum", "max", "min", "std", "var", "prod", "ptp", "median",
+    "nanmean", "nansum", "nanmax", "nanmin",
+}
+
+_COERCIONS = {"str", "int", "float", "bool", "repr", "format"}
+
+
+def _export_functions(info) -> Iterator[ast.FunctionDef]:
+    for node in ast.walk(info.tree):
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name in _EXPORT_METHOD_NAMES
+        ):
+            yield node
+
+
+def _dict_items(function: ast.AST) -> Iterator[Tuple[ast.AST, ast.AST]]:
+    """(key, value) pairs of every dict literal/comprehension in scope."""
+    for node in ast.walk(function):
+        if isinstance(node, ast.Dict):
+            for key, value in zip(node.keys, node.values):
+                if key is not None:  # ``**spread`` has no key node
+                    yield key, value
+        elif isinstance(node, ast.DictComp):
+            yield node.key, node.value
+
+
+def _is_str_coerced(key: ast.AST) -> bool:
+    if isinstance(key, ast.Constant):
+        return isinstance(key.value, str)
+    if isinstance(key, ast.JoinedStr):
+        return True
+    if isinstance(key, ast.Call) and isinstance(key.func, ast.Name):
+        return key.func.id in ("str", "repr", "format")
+    if isinstance(key, ast.Call) and isinstance(key.func, ast.Attribute):
+        # "...".join(...), value.format(...), name.lower() and friends.
+        return True
+    if isinstance(key, ast.BinOp) and isinstance(key.op, ast.Add):
+        # String concatenation of coerced parts.
+        return _is_str_coerced(key.left) or _is_str_coerced(key.right)
+    return False
+
+
+@register_rule
+class ExportKeyRule(Rule):
+    rule_id = "EXP001"
+    summary = "to_dict mapping key is not (provably) a string"
+    hint = (
+        "wrap the key in str(...) — json.dumps silently stringifies "
+        "non-str keys, so the export would not round-trip"
+    )
+
+    def check(self, context: LintContext) -> Iterable[Finding]:
+        for info in context.iter_modules():
+            for function in _export_functions(info):
+                for key, _ in _dict_items(function):
+                    if isinstance(key, ast.Constant) and not isinstance(
+                        key.value, str
+                    ):
+                        yield self.finding(
+                            info,
+                            key,
+                            f"non-string constant key {key.value!r}",
+                        )
+                    elif not _is_str_coerced(key):
+                        yield self.finding(
+                            info,
+                            key,
+                            f"dynamic key {ast.unparse(key)!r} is not "
+                            "visibly str-coerced",
+                        )
+
+
+@register_rule
+class NumpyScalarLeakRule(Rule):
+    rule_id = "EXP002"
+    summary = "to_dict value may leak a numpy scalar"
+    hint = (
+        "coerce with float(...)/int(...) (or .item()) before export; "
+        "numpy scalars break the JSON round-trip contract"
+    )
+
+    def check(self, context: LintContext) -> Iterable[Finding]:
+        for info in context.iter_modules():
+            aliases = numpy_random_aliases(info.tree)
+            for function in _export_functions(info):
+                for _, value in _dict_items(function):
+                    reduction = self._bare_reduction(value, aliases)
+                    if reduction is not None:
+                        yield self.finding(
+                            info,
+                            value,
+                            f"bare numpy reduction {reduction}(...) exported "
+                            "without float()/int() coercion",
+                        )
+
+    @staticmethod
+    def _bare_reduction(value: ast.AST, aliases: dict):
+        if not isinstance(value, ast.Call):
+            return None
+        func = value.func
+        if isinstance(func, ast.Attribute):
+            dotted = resolve_dotted(func, aliases)
+            if dotted is not None and dotted.startswith("numpy."):
+                name = dotted.split(".")[-1]
+                return f"np.{name}" if name in _NUMPY_REDUCTIONS else None
+            if func.attr in _NUMPY_REDUCTIONS:
+                return f".{func.attr}"
+        return None

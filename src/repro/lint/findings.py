@@ -1,0 +1,50 @@
+"""The unit of lint output: one finding, with a location and a fix hint."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``context`` is the dotted qualname of the enclosing class/function (or
+    ``"<module>"``), which — together with rule, path and message — forms
+    the :attr:`baseline_key`.  Line numbers are deliberately *not* part of
+    the key: unrelated edits above a grandfathered site must not resurrect
+    it as a "new" finding.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    context: str
+    message: str
+    hint: str = ""
+
+    @property
+    def baseline_key(self) -> Tuple[str, str, str, str]:
+        return (self.rule, self.path, self.context, self.message)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": int(self.line),
+            "col": int(self.col),
+            "context": self.context,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.hint:
+            text += f" (fix: {self.hint})"
+        return text
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule, self.message)

@@ -1,0 +1,168 @@
+"""RNG discipline: all randomness flows through :mod:`repro.sim.rng`.
+
+The grouped engine's serial == sharded guarantee holds because every draw
+comes from a stream derived from a structured key.  A generator constructed
+anywhere else is order-dependent state; a ``default_rng(0)`` fallback
+silently correlates every caller that forgot to pass a stream.
+
+``RNG001``
+    direct construction of a numpy generator (``default_rng``,
+    ``Generator``, ``RandomState``, ``SeedSequence``) or a legacy
+    ``np.random.*`` module-level draw outside the registry module.
+``RNG002``
+    stdlib ``random`` imported or used at all.
+``RNG003``
+    a ``rng=None`` parameter silently falling back to a locally
+    constructed generator (``rng if rng is not None else default_rng(0)``,
+    ``rng or default_rng(0)``, or ``if rng is None: rng = default_rng(0)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional, Set
+
+from repro.lint.context import LintContext, numpy_random_aliases, resolve_dotted
+from repro.lint.findings import Finding
+from repro.lint.rules import Rule, register_rule
+
+#: numpy.random entry points that construct a generator / entropy source.
+_CONSTRUCTORS = {"default_rng", "Generator", "RandomState", "SeedSequence"}
+
+#: Legacy module-level draw functions on ``numpy.random`` (global state).
+_LEGACY_DRAWS = {
+    "beta", "binomial", "choice", "exponential", "gamma", "normal",
+    "permutation", "poisson", "rand", "randint", "randn", "random",
+    "random_sample", "seed", "shuffle", "standard_normal", "uniform",
+}
+
+
+def _numpy_random_target(node: ast.Call, aliases: dict) -> Optional[str]:
+    """``numpy.random.X`` name this call resolves to, if any."""
+    dotted = resolve_dotted(node.func, aliases)
+    if dotted is None or not dotted.startswith("numpy.random."):
+        return None
+    return dotted[len("numpy.random."):]
+
+
+def _is_conditional_fallback(info, node: ast.Call) -> bool:
+    """Is ``node`` the fallback branch of an rng-default pattern?"""
+    parents = info.parent_map()
+    parent = parents.get(id(node))
+    if isinstance(parent, ast.IfExp) and parent.orelse is node:
+        return True
+    if isinstance(parent, ast.BoolOp) and isinstance(parent.op, ast.Or):
+        return node in parent.values[1:]
+    if isinstance(parent, ast.Assign):
+        grand = parents.get(id(parent))
+        if isinstance(grand, ast.If):
+            test = grand.test
+            if (
+                isinstance(test, ast.Compare)
+                and len(test.ops) == 1
+                and isinstance(test.ops[0], ast.Is)
+                and isinstance(test.comparators[0], ast.Constant)
+                and test.comparators[0].value is None
+            ):
+                return True
+    return False
+
+
+@register_rule
+class RngConstructionRule(Rule):
+    rule_id = "RNG001"
+    summary = (
+        "numpy generator constructed outside the repro.sim.rng registry"
+    )
+    hint = (
+        "derive the stream from a structured key via repro.sim.rng "
+        "(derive_stream / RngRegistry), or baseline a legacy compat shim"
+    )
+
+    def check(self, context: LintContext) -> Iterable[Finding]:
+        allowed: Set[str] = set(context.config.rng_allowed_modules)
+        for info in context.iter_modules():
+            if info.module in allowed:
+                continue
+            aliases = numpy_random_aliases(info.tree)
+            for node in ast.walk(info.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = _numpy_random_target(node, aliases)
+                if target is None:
+                    continue
+                if target in _CONSTRUCTORS:
+                    if _is_conditional_fallback(info, node):
+                        continue  # RNG003's, reported once there
+                    yield self.finding(
+                        info,
+                        node,
+                        f"np.random.{target}(...) constructed outside the "
+                        "rng registry",
+                    )
+                elif target in _LEGACY_DRAWS:
+                    yield self.finding(
+                        info,
+                        node,
+                        f"module-level np.random.{target}(...) draws from "
+                        "hidden global state",
+                    )
+
+
+@register_rule
+class StdlibRandomRule(Rule):
+    rule_id = "RNG002"
+    summary = "stdlib random used (unseedable per-process global state)"
+    hint = "use a numpy stream derived via repro.sim.rng instead"
+
+    def check(self, context: LintContext) -> Iterable[Finding]:
+        for info in context.iter_modules():
+            for node in ast.walk(info.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        if alias.name == "random" or alias.name.startswith(
+                            "random."
+                        ):
+                            yield self.finding(
+                                info, node, "stdlib random imported"
+                            )
+                elif isinstance(node, ast.ImportFrom):
+                    if node.level == 0 and node.module and (
+                        node.module == "random"
+                        or node.module.startswith("random.")
+                    ):
+                        yield self.finding(
+                            info, node, "stdlib random imported"
+                        )
+
+
+@register_rule
+class SilentRngFallbackRule(Rule):
+    rule_id = "RNG003"
+    summary = "rng=None parameter silently falls back to a local generator"
+    hint = (
+        "require the caller to pass a stream (raise on None) or derive one "
+        "from a registry key; a constant-seed fallback correlates every "
+        "caller that forgot"
+    )
+
+    def check(self, context: LintContext) -> Iterable[Finding]:
+        allowed: Set[str] = set(context.config.rng_allowed_modules)
+        for info in context.iter_modules():
+            if info.module in allowed:
+                continue
+            aliases = numpy_random_aliases(info.tree)
+            for node in ast.walk(info.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = _numpy_random_target(node, aliases)
+                if target not in _CONSTRUCTORS:
+                    continue
+                if not _is_conditional_fallback(info, node):
+                    continue
+                rendered = ast.unparse(node)
+                yield self.finding(
+                    info,
+                    node,
+                    f"silent fallback to {rendered} when no rng is passed",
+                )

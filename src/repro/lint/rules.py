@@ -1,0 +1,77 @@
+"""Rule framework: base class, registry, and the one-shot runner."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Type
+
+from repro.lint.context import LintContext
+from repro.lint.findings import Finding
+
+
+class Rule:
+    """One rule family member.
+
+    Subclasses set ``rule_id``/``summary``/``hint`` and implement
+    :meth:`check`, yielding :class:`Finding` objects.  Rules are stateless:
+    all project knowledge comes from the :class:`LintContext`.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+    hint: str = ""
+
+    def check(self, context: LintContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, info, node, message: str, hint: str = "") -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            path=info.relpath,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0) + 1,
+            context=info.qualname_of(node),
+            message=message,
+            hint=hint or self.hint,
+        )
+
+
+_REGISTRY: List[Type[Rule]] = []
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    if not cls.rule_id:
+        raise ValueError(f"rule {cls.__name__} has no rule_id")
+    if any(existing.rule_id == cls.rule_id for existing in _REGISTRY):
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY.append(cls)
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in registration order."""
+    # Imported here so registering modules run exactly once, whichever of
+    # the package's entry points is hit first.
+    import repro.lint.rng_rules  # noqa: F401
+    import repro.lint.shard_rules  # noqa: F401
+    import repro.lint.export_rules  # noqa: F401
+    import repro.lint.spec_rules  # noqa: F401
+
+    return [cls() for cls in _REGISTRY]
+
+
+def run_rules(
+    context: LintContext, rules: Optional[Sequence[Rule]] = None
+) -> List[Finding]:
+    """Run ``rules`` (default: all registered) and return sorted findings."""
+    findings: List[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        findings.extend(rule.check(context))
+    return sorted(findings, key=Finding.sort_key)
+
+
+#: Rule-id -> summary for docs/CLI listings, resolved lazily.
+def rule_catalog() -> dict:
+    return {rule.rule_id: rule.summary for rule in all_rules()}
+
+
+ALL_RULES = all_rules

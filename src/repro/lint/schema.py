@@ -1,0 +1,175 @@
+"""Export-schema snapshots: the key-tree of ``RunResult.to_dict()``.
+
+The static EXP rules catch non-canonical *construction*; this runtime
+companion pins the export *shape*.  ``key_tree`` reduces a JSON payload to
+its structural skeleton — mapping keys, merged array element shapes, leaf
+type names — so a committed snapshot per registry scenario detects silent
+key additions/removals/retypings the moment they land, without pinning any
+numeric value (golden digests already do that where bit-stability is the
+contract).
+
+Dynamic integer-like keys (per-cell / per-group / per-server ids) are
+collapsed to the ``<id>`` wildcard: their *presence* is scenario shape,
+their exact ids are population dynamics.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Wildcard used for dict keys that are all integer-like (dynamic ids).
+ID_KEY = "<id>"
+
+
+def _leaf_type(value) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "str"
+    return type(value).__name__
+
+
+def _is_id_key(key: str) -> bool:
+    if not isinstance(key, str):
+        return False
+    body = key[1:] if key.startswith("-") else key
+    return body.isdigit()
+
+
+def merge_key_trees(left, right):
+    """Structural union of two key-trees.
+
+    Leaves merge into sorted ``|``-joined type names (``"float|int"``), so
+    a field that is int in one interval and float in another reads as a
+    numeric leaf rather than a conflict.
+    """
+    if left is None:
+        return right
+    if right is None:
+        return left
+    if isinstance(left, dict) and isinstance(right, dict):
+        merged = dict(left)
+        for key, value in right.items():
+            merged[key] = merge_key_trees(merged.get(key), value)
+        return merged
+    if isinstance(left, dict) or isinstance(right, dict):
+        as_text = sorted(
+            ("object" if isinstance(t, dict) else str(t)) for t in (left, right)
+        )
+        return "|".join(as_text)
+    names = set(str(left).split("|")) | set(str(right).split("|"))
+    return "|".join(sorted(names))
+
+
+def key_tree(payload):
+    """Structural skeleton of a JSON-style payload.
+
+    * mappings -> ``{key: subtree}`` (integer-like keys collapse to
+      ``"<id>"`` and their subtrees merge),
+    * sequences -> ``{"[]": merged element subtree}`` (``{"[]": "empty"}``
+      when there is nothing to merge),
+    * scalars -> their JSON type name.
+    """
+    if isinstance(payload, dict):
+        tree: Dict[str, object] = {}
+        for key, value in payload.items():
+            name = ID_KEY if _is_id_key(key) else str(key)
+            subtree = key_tree(value)
+            tree[name] = (
+                merge_key_trees(tree[name], subtree) if name in tree else subtree
+            )
+        return tree
+    if isinstance(payload, (list, tuple)):
+        merged = None
+        for item in payload:
+            merged = merge_key_trees(merged, key_tree(item))
+        return {"[]": merged if merged is not None else "empty"}
+    return _leaf_type(payload)
+
+
+def diff_key_trees(expected, actual, path: str = "") -> List[str]:
+    """Human-readable structural differences, empty when shapes match."""
+    problems: List[str] = []
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        for key in sorted(expected):
+            where = f"{path}.{key}" if path else key
+            if key not in actual:
+                problems.append(f"missing key {where!r}")
+            else:
+                problems.extend(diff_key_trees(expected[key], actual[key], where))
+        for key in sorted(set(actual) - set(expected)):
+            where = f"{path}.{key}" if path else key
+            problems.append(f"unexpected key {where!r}")
+        return problems
+    if expected != actual:
+        where = path or "<root>"
+        problems.append(
+            f"type changed at {where!r}: expected {expected!r}, got {actual!r}"
+        )
+    return problems
+
+
+# ---------------------------------------------------------------- registry
+def snapshot_registry(intervals: int = 1) -> Dict[str, object]:
+    """Key-tree of every registry scenario's ``RunResult.to_dict()``.
+
+    Runs each scenario for ``intervals`` run steps (shape does not depend
+    on the horizon) and asserts the payload JSON round-trips while at it —
+    the runtime counterpart of the EXP rules.
+    """
+    # Imported lazily: the lint package must stay importable (and fast)
+    # without pulling the whole simulation stack in.
+    from repro.scenario import ScenarioRunner, get_scenario, scenario_names
+
+    trees: Dict[str, object] = {}
+    for name in scenario_names():
+        spec = get_scenario(name, {"num_intervals": intervals})
+        payload = ScenarioRunner(spec).run().to_dict()
+        if json.loads(json.dumps(payload)) != payload:
+            raise AssertionError(
+                f"scenario {name!r} export does not JSON round-trip"
+            )
+        trees[name] = key_tree(payload)
+    return {"version": 1, "intervals": intervals, "scenarios": trees}
+
+
+def load_snapshot(path: Path) -> Optional[dict]:
+    target = Path(path)
+    if not target.exists():
+        return None
+    return json.loads(target.read_text())
+
+
+def save_snapshot(path: Path, snapshot: dict) -> None:
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+
+
+def diff_snapshot(expected: dict, actual: dict) -> List[str]:
+    """Scenario-aware diff of two registry snapshots."""
+    problems: List[str] = []
+    expected_trees = expected.get("scenarios", {})
+    actual_trees = actual.get("scenarios", {})
+    for name in sorted(expected_trees):
+        if name not in actual_trees:
+            problems.append(f"scenario {name!r} disappeared from the registry")
+            continue
+        problems.extend(
+            f"{name}: {problem}"
+            for problem in diff_key_trees(expected_trees[name], actual_trees[name])
+        )
+    for name in sorted(set(actual_trees) - set(expected_trees)):
+        problems.append(
+            f"scenario {name!r} is new — commit an updated snapshot "
+            "(repro lint --schema --update)"
+        )
+    return problems

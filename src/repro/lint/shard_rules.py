@@ -1,0 +1,280 @@
+"""Shard purity + shared-memory lifecycle rules.
+
+Worker processes import :mod:`repro.sim.shard` and everything it reaches
+(transitively, lazy imports included).  A shard task must be a pure
+function of its key and the fork-time static state, so worker-reachable
+modules must not consult the environment or mutable module-level state at
+call time, and the dataclasses that travel to workers must carry only
+picklable data.
+
+``SHARD001``
+    ``os.environ`` / ``os.getenv`` read inside a function of a
+    worker-reachable module (call-time environment dependence).
+``SHARD002``
+    a task/handle/static dataclass field annotated with an unpicklable or
+    stateful type (``Generator``, locks, callables, executors, ...).
+``SHARD003``
+    mutable module-level state in a worker-reachable module: a top-level
+    name bound to a list/dict/set, or a ``global`` statement rebinding
+    module state from inside a function.  Dunder names and ALL_CAPS
+    constants (lookup tables filled at import time) are exempt by
+    convention — the rule targets state that *changes between calls*, and
+    ``global`` rebinding is the unambiguous signal for that.
+``SHM001``
+    a ``SharedMemory(create=True)`` site without an idempotent
+    ``close()``/``unlink()`` pair in the owning class or module.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List, Optional
+
+from repro.lint.context import LintContext, resolve_dotted
+from repro.lint.findings import Finding
+from repro.lint.rules import Rule, register_rule
+
+#: Annotation tokens that mark a field as non-data (unpicklable or
+#: process-local state).  Matched as whole words in the unparsed annotation.
+_NON_DATA_TOKENS = (
+    "Generator",
+    "BitGenerator",
+    "Lock",
+    "RLock",
+    "Semaphore",
+    "Condition",
+    "Callable",
+    "Thread",
+    "Executor",
+    "Pool",
+    "SharedMemory",
+)
+
+_TASK_NAME_SUFFIXES = ("Task", "Handle", "Static")
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = target.attr if isinstance(target, ast.Attribute) else getattr(
+            target, "id", None
+        )
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _annotation_tokens(annotation: ast.AST) -> List[str]:
+    return re.findall(r"[A-Za-z_][A-Za-z0-9_]*", ast.unparse(annotation))
+
+
+@register_rule
+class WorkerEnvironRule(Rule):
+    rule_id = "SHARD001"
+    summary = "worker-reachable code reads the environment at call time"
+    hint = (
+        "resolve the value in the parent and ship it via ShardStatic / the "
+        "task payload; worker behaviour must be a pure function of the key"
+    )
+
+    def check(self, context: LintContext) -> Iterable[Finding]:
+        for info in context.iter_modules(sorted(context.worker_modules)):
+            for node in ast.walk(info.tree):
+                dotted: Optional[str] = None
+                if isinstance(node, ast.Attribute):
+                    dotted = resolve_dotted(node, {})
+                elif isinstance(node, ast.Call):
+                    dotted = resolve_dotted(node.func, {})
+                if dotted not in ("os.environ", "os.getenv"):
+                    continue
+                if isinstance(node, ast.Attribute):
+                    # Reported once, at the attribute read itself (the call
+                    # wrapper around ``os.getenv`` handles the other form).
+                    if info.enclosing_function(node) is None:
+                        continue
+                    yield self.finding(
+                        info, node, "os.environ read in worker-reachable code"
+                    )
+                elif isinstance(node, ast.Call) and dotted == "os.getenv":
+                    if info.enclosing_function(node) is None:
+                        continue
+                    yield self.finding(
+                        info, node, "os.getenv(...) in worker-reachable code"
+                    )
+
+
+@register_rule
+class TaskFieldRule(Rule):
+    rule_id = "SHARD002"
+    summary = "task dataclass field carries non-data (unpicklable) state"
+    hint = (
+        "task payloads must be picklable data only: ship keys/arrays/"
+        "scalars and rebuild stateful objects worker-side from them"
+    )
+
+    def check(self, context: LintContext) -> Iterable[Finding]:
+        for info in context.iter_modules(sorted(context.worker_modules)):
+            for node in ast.walk(info.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                if not node.name.endswith(_TASK_NAME_SUFFIXES):
+                    continue
+                if not _is_dataclass(node):
+                    continue
+                for statement in node.body:
+                    if not isinstance(statement, ast.AnnAssign):
+                        continue
+                    tokens = _annotation_tokens(statement.annotation)
+                    bad = [t for t in tokens if t in _NON_DATA_TOKENS]
+                    if not bad:
+                        continue
+                    field_name = (
+                        statement.target.id
+                        if isinstance(statement.target, ast.Name)
+                        else ast.unparse(statement.target)
+                    )
+                    yield self.finding(
+                        info,
+                        statement,
+                        f"field {field_name!r} of {node.name} annotated "
+                        f"{ast.unparse(statement.annotation)!r} is not plain "
+                        "picklable data",
+                    )
+
+
+@register_rule
+class WorkerMutableStateRule(Rule):
+    rule_id = "SHARD003"
+    summary = "mutable module-level state in a worker-reachable module"
+    hint = (
+        "worker results must not depend on module state mutated at call "
+        "time; make it per-instance, pass it through the task, or baseline "
+        "a sanctioned fork-time registry"
+    )
+
+    def check(self, context: LintContext) -> Iterable[Finding]:
+        for info in context.iter_modules(sorted(context.worker_modules)):
+            for statement in info.tree.body:
+                targets: List[ast.AST] = []
+                value: Optional[ast.AST] = None
+                if isinstance(statement, ast.Assign):
+                    targets, value = statement.targets, statement.value
+                elif isinstance(statement, ast.AnnAssign) and statement.value:
+                    targets, value = [statement.target], statement.value
+                if value is None or not self._is_mutable(value):
+                    continue
+                names = ", ".join(
+                    t.id
+                    for t in targets
+                    if isinstance(t, ast.Name) and not self._is_constant_name(t.id)
+                )
+                if not names:
+                    continue
+                yield self.finding(
+                    info,
+                    statement,
+                    f"module-level mutable binding {names!r} "
+                    f"({ast.unparse(value)})",
+                )
+            for node in ast.walk(info.tree):
+                if isinstance(node, ast.Global):
+                    yield self.finding(
+                        info,
+                        node,
+                        "global statement rebinds module state "
+                        f"({', '.join(node.names)})",
+                    )
+
+    @staticmethod
+    def _is_constant_name(name: str) -> bool:
+        """Dunders and ALL_CAPS bindings are constants by convention."""
+        if name.startswith("__") and name.endswith("__"):
+            return True
+        return name.upper() == name
+
+    @staticmethod
+    def _is_mutable(value: ast.AST) -> bool:
+        if isinstance(value, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(value, ast.Call):
+            name = (
+                value.func.id
+                if isinstance(value.func, ast.Name)
+                else getattr(value.func, "attr", None)
+            )
+            return name in ("list", "dict", "set", "defaultdict", "OrderedDict")
+        return False
+
+
+@register_rule
+class SharedMemoryLifecycleRule(Rule):
+    rule_id = "SHM001"
+    summary = "SharedMemory(create=True) without a close()/unlink() path"
+    hint = (
+        "pair every created segment with an idempotent close() that "
+        "unlink()s it (see SharedIntervalPlan._release)"
+    )
+
+    def check(self, context: LintContext) -> Iterable[Finding]:
+        for info in context.iter_modules():
+            creates = [
+                node
+                for node in ast.walk(info.tree)
+                if isinstance(node, ast.Call)
+                and self._is_shared_memory_create(node)
+            ]
+            if not creates:
+                continue
+            for node in creates:
+                owner = info.enclosing_class(node)
+                scope: ast.AST = owner if owner is not None else info.tree
+                problems = []
+                if owner is not None and not self._has_method(owner, "close"):
+                    problems.append("no close() method on the owning class")
+                if not self._calls_method(scope, "unlink"):
+                    problems.append("no unlink() call in the owning scope")
+                if not self._calls_method(scope, "close"):
+                    problems.append("no close() call in the owning scope")
+                if problems:
+                    yield self.finding(
+                        info,
+                        node,
+                        "SharedMemory(create=True) leaks: "
+                        + "; ".join(problems),
+                    )
+
+    @staticmethod
+    def _is_shared_memory_create(node: ast.Call) -> bool:
+        name = (
+            node.func.attr
+            if isinstance(node.func, ast.Attribute)
+            else getattr(node.func, "id", None)
+        )
+        if name != "SharedMemory":
+            return False
+        for keyword in node.keywords:
+            if keyword.arg == "create" and isinstance(
+                keyword.value, ast.Constant
+            ):
+                return keyword.value.value is True
+        return False
+
+    @staticmethod
+    def _has_method(owner: ast.ClassDef, name: str) -> bool:
+        return any(
+            isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and item.name == name
+            for item in owner.body
+        )
+
+    @staticmethod
+    def _calls_method(scope: ast.AST, name: str) -> bool:
+        for node in ast.walk(scope):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == name
+            ):
+                return True
+        return False

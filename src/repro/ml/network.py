@@ -144,7 +144,9 @@ class Sequential:
 
         Parameters mirror the familiar Keras-style ``fit`` signature; the
         defaults (MSE + Adam) suit the regression-style objectives used in
-        the reproduction.
+        the reproduction.  ``rng`` drives the per-epoch shuffle and is
+        required: a hidden constant-seed fallback would correlate every
+        caller that forgot to pass a stream.
         """
         x = np.asarray(x, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64)
@@ -152,9 +154,13 @@ class Sequential:
             raise ValueError("x and y must have the same number of samples")
         if epochs <= 0 or batch_size <= 0:
             raise ValueError("epochs and batch_size must be positive")
+        if rng is None:
+            raise ValueError(
+                "fit() requires an explicit rng; pass np.random.default_rng(0) "
+                "to reproduce the former implicit shuffle stream"
+            )
         loss = loss if loss is not None else MSELoss()
         optimizer = optimizer if optimizer is not None else Adam(self.parameters())
-        rng = rng if rng is not None else np.random.default_rng(0)
 
         history = TrainingHistory()
         n = x.shape[0]

@@ -12,7 +12,7 @@ queries are vectorized here too.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 

@@ -9,7 +9,7 @@ population or its behaviour shifts.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

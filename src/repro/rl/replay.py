@@ -78,14 +78,22 @@ class ReplayBuffer:
         self._next_index = (self._next_index + 1) % self.capacity
 
     def sample(self, batch_size: int, rng: Optional[np.random.Generator] = None) -> TransitionBatch:
-        """Sample a batch uniformly; raises if the buffer is too small."""
+        """Sample a batch uniformly; raises if the buffer is too small.
+
+        ``rng`` is required — sampling must draw from the caller's stream
+        so replayed runs stay bit-identical.
+        """
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         if len(self._storage) < batch_size:
             raise ValueError(
                 f"buffer holds {len(self._storage)} transitions; cannot sample {batch_size}"
             )
-        rng = rng if rng is not None else np.random.default_rng(0)
+        if rng is None:
+            raise ValueError(
+                "sample() requires an explicit rng; pass np.random.default_rng(0) "
+                "to reproduce the former implicit sampling stream"
+            )
         indices = rng.choice(len(self._storage), size=batch_size, replace=False)
         chosen = [self._storage[i] for i in indices]
         return TransitionBatch(

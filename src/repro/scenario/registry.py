@@ -14,7 +14,6 @@ hand-wired code they replaced (``tests/test_scenario.py``).
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from repro.scenario.compiler import CompiledScenario, compile_spec

@@ -145,13 +145,13 @@ class RunResult:
             "elapsed_per_interval_s": float(self.elapsed_s) / max(self.num_intervals, 1),
             "intervals": list(self.intervals),
             "summary": dict(self.summary),
-            "per_cell": {key: dict(series) for key, series in self.per_cell.items()},
-            "timing": {key: float(value) for key, value in self.timing.items()},
+            "per_cell": {str(key): dict(series) for key, series in self.per_cell.items()},
+            "timing": {str(key): float(value) for key, value in self.timing.items()},
             "spec": self.spec,
         }
         if self.per_server:
             exported["per_server"] = {
-                key: dict(series) for key, series in self.per_server.items()
+                str(key): dict(series) for key, series in self.per_server.items()
             }
         return exported
 

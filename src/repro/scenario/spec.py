@@ -448,11 +448,11 @@ class ScenarioSpec:
             if isinstance(obj, ScenarioEvent):
                 payload = {"type": _EVENT_NAMES[type(obj)]}
                 payload.update(
-                    {f.name: convert(getattr(obj, f.name)) for f in fields(obj)}
+                    {str(f.name): convert(getattr(obj, f.name)) for f in fields(obj)}
                 )
                 return payload
             if dataclasses.is_dataclass(obj):
-                return {f.name: convert(getattr(obj, f.name)) for f in fields(obj)}
+                return {str(f.name): convert(getattr(obj, f.name)) for f in fields(obj)}
             if isinstance(obj, Mapping):
                 return {str(key): convert(val) for key, val in obj.items()}
             if isinstance(obj, tuple):

@@ -67,7 +67,7 @@ from repro.timegrid import time_grid
 from repro.twin.collector import StatusCollector
 from repro.twin.manager import DigitalTwinManager
 from repro.twin.attributes import SERVING_CELL, serving_cell_attribute, standard_attributes
-from repro.video.catalog import CatalogConfig, Video, VideoCatalog
+from repro.video.catalog import CatalogConfig, VideoCatalog
 from repro.video.popularity import sample_index, sampling_cdf
 from repro.video.representations import Representation
 

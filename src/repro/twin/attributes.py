@@ -11,7 +11,7 @@ state changes fastest, preferences slowest).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Tuple
 
 
 @dataclass(frozen=True)

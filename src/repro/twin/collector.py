@@ -17,7 +17,7 @@ drop probability (lossy uplink) and a reporting delay.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -311,9 +311,8 @@ class DigitalTwinManager:
         per-block zero-order-hold clamp via ``np.repeat``), generalised to
         a different query count per user.
         """
-        num_steps = times.shape[0]
         column = 0
-        for position, name in enumerate(order):
+        for position, _name in enumerate(order):
             stores = [stores_by_user[index][position] for index in stale]
             dim = stores[0].dimension
             outs = [

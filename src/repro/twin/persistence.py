@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Union
+from typing import Union
 
 from repro.behavior.watching import WatchRecord
 from repro.twin.attributes import AttributeSpec

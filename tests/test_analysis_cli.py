@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.analysis import format_table, run_fig3_experiment
 from repro.cli import build_parser, main
-from repro.sim import SimulationConfig, StreamingSimulator, singleton_grouping
+from repro.sim import singleton_grouping
 
 
 class TestFormatTable:

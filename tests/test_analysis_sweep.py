@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import json
 
-import numpy as np
 import pytest
 
 from repro.analysis import SweepResult, sweep_population_sizes, sweep_scenarios

@@ -435,7 +435,7 @@ class TestScopedPredictionLoop:
             assert sum(evaluation.actual_radio_by_cell.values()) == pytest.approx(
                 evaluation.actual_radio_blocks
             )
-            for cell_id, value in evaluation.radio_accuracy_by_cell.items():
+            for _cell_id, value in evaluation.radio_accuracy_by_cell.items():
                 assert 0.0 <= value <= 1.0
         payload = result.to_dict()
         assert "mean_radio_accuracy_by_cell" in payload["summary"]

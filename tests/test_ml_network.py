@@ -78,14 +78,23 @@ class TestTraining:
         net = Sequential([Dense(2, 16, rng), ReLU(), Dense(16, 1, rng)])
         x = rng.normal(size=(128, 2))
         y = (x @ np.array([[1.0], [-2.0]])) + 0.5
-        history = net.fit(x, y, epochs=30, batch_size=16, optimizer=Adam(net.parameters(), 1e-2))
+        history = net.fit(
+            x,
+            y,
+            epochs=30,
+            batch_size=16,
+            optimizer=Adam(net.parameters(), 1e-2),
+            rng=np.random.default_rng(0),
+        )
         assert history.train_loss[-1] < history.train_loss[0] * 0.2
 
     def test_fit_records_validation_loss(self, rng):
         net = make_mlp(rng, in_dim=2, out_dim=1)
         x = rng.normal(size=(32, 2))
         y = x.sum(axis=1, keepdims=True)
-        history = net.fit(x, y, epochs=3, validation_data=(x, y))
+        history = net.fit(
+            x, y, epochs=3, validation_data=(x, y), rng=np.random.default_rng(0)
+        )
         assert len(history.validation_loss) == 3
 
     def test_fit_rejects_mismatched_samples(self, rng):
@@ -97,6 +106,11 @@ class TestTraining:
         net = make_mlp(rng, in_dim=2, out_dim=1)
         with pytest.raises(ValueError):
             net.fit(np.zeros((4, 2)), np.zeros((4, 1)), epochs=0)
+
+    def test_fit_requires_rng(self, rng):
+        net = make_mlp(rng, in_dim=2, out_dim=1)
+        with pytest.raises(ValueError, match="requires an explicit rng"):
+            net.fit(np.zeros((4, 2)), np.zeros((4, 1)), epochs=1)
 
     def test_train_batch_returns_loss(self, rng):
         net = make_mlp(rng, in_dim=2, out_dim=1)
@@ -113,6 +127,7 @@ class TestTraining:
             np.zeros((8, 1)),
             epochs=4,
             callback=lambda epoch, loss: calls.append(epoch),
+            rng=np.random.default_rng(0),
         )
         assert calls == [0, 1, 2, 3]
 

@@ -8,7 +8,6 @@ wiring, and the ``edge_flash_crowd`` scenario end to end.
 
 from __future__ import annotations
 
-import dataclasses
 import json
 
 import pytest

@@ -62,6 +62,13 @@ class TestReplayBuffer:
         with pytest.raises(ValueError):
             buffer.sample(4, rng=rng)
 
+    def test_sample_requires_rng(self):
+        buffer = ReplayBuffer(capacity=8)
+        for _ in range(4):
+            buffer.push(np.zeros(2), 0, 0.0, np.zeros(2), False)
+        with pytest.raises(ValueError, match="requires an explicit rng"):
+            buffer.sample(4)
+
     def test_clear(self):
         buffer = ReplayBuffer(capacity=8)
         buffer.push(np.zeros(2), 0, 0.0, np.zeros(2), False)
@@ -144,7 +151,7 @@ class TestDDQNAgent:
     def test_learning_starts_after_min_replay(self):
         agent = self.make_agent()
         losses = []
-        for i in range(12):
+        for _ in range(12):
             loss = agent.observe(np.zeros(2), 0, 0.0, np.zeros(2), False)
             losses.append(loss)
         assert all(loss is None for loss in losses[:7])

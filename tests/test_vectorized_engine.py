@@ -18,7 +18,6 @@ import numpy as np
 import pytest
 
 from repro import SimulationConfig, StreamingSimulator
-from repro.behavior.preference import PreferenceVector
 from repro.behavior.watching import WatchRecord
 from repro.core.demand import DemandPredictorConfig, GroupDemandPredictor, GroupDemandPrediction
 from repro.mobility.campus import CampusConfig, CampusMap
