@@ -23,6 +23,7 @@ from repro.cluster import KMeansPlusPlus, silhouette_score
 from repro.core.features import CompressorConfig, UDTFeatureCompressor
 from repro.rl import DDQNAgent, DDQNConfig, GroupingEnvConfig, GroupingEnvironment, train_agent
 from repro.rl.env import STATE_DIM
+from repro.sim.rng import legacy_stream
 
 
 def _make_population_tensor(rng: np.random.Generator, populations=3, per_population=12):
@@ -37,7 +38,7 @@ def _make_population_tensor(rng: np.random.Generator, populations=3, per_populat
 
 def _cnn_experiment():
     started = time.perf_counter()
-    rng = np.random.default_rng(0)
+    rng = legacy_stream(0)
     tensor, labels = _make_population_tensor(rng)
     compressor = UDTFeatureCompressor(
         CompressorConfig(num_steps=32, num_channels=12, compressed_dim=8, epochs=15, seed=1)
@@ -64,7 +65,7 @@ def _ddqn_experiment():
             seed=0,
         )
     )
-    result = train_agent(agent, env, episodes=40, rng=np.random.default_rng(1))
+    result = train_agent(agent, env, episodes=40, rng=legacy_stream(1))
     elapsed = time.perf_counter() - started
     return agent, result, elapsed
 

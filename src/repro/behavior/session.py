@@ -105,8 +105,19 @@ class SessionGenerator:
         start_time_s: float = 0.0,
         duration_s: Optional[float] = None,
     ) -> List[ViewingEvent]:
-        """Generate the viewing events of one user for one interval."""
-        rng = rng if rng is not None else np.random.default_rng(user_id)
+        """Generate the viewing events of one user for one interval.
+
+        ``rng`` is required: the historical per-user fallback
+        (``default_rng(user_id)``) silently decoupled callers from the
+        simulation's seed, so identical configs could disagree purely on
+        whether a stream was passed.
+        """
+        if rng is None:
+            raise ValueError(
+                "generate_session requires an explicit rng; derive one from "
+                "the repro.sim.rng registry (e.g. legacy_stream(user_id) for "
+                "the historical default)"
+            )
         duration_s = duration_s if duration_s is not None else self.config.session_duration_s
         if duration_s <= 0:
             raise ValueError("duration_s must be positive")
@@ -140,7 +151,12 @@ class SessionGenerator:
         duration_s: Optional[float] = None,
     ) -> List[List[ViewingEvent]]:
         """Generate one session per user; ``preferences[i]`` belongs to user ``i``."""
-        rng = rng if rng is not None else np.random.default_rng(0)
+        if rng is None:
+            raise ValueError(
+                "generate_population_sessions requires an explicit rng; "
+                "derive one from the repro.sim.rng registry (e.g. "
+                "legacy_stream(0) for the historical default)"
+            )
         sessions = []
         for user_id, preference in enumerate(preferences):
             sessions.append(

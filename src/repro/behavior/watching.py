@@ -105,14 +105,18 @@ class WatchingDurationModel:
     ) -> float:
         """Sample how many seconds of ``video`` the user watches.
 
-        Pass ``rng`` explicitly: the ``None`` fallback builds a *fresh*
-        seed-0 generator per call (kept only for backwards compatibility),
-        so repeated calls without a generator all return the same draw.
-        Every simulator path supplies its own stream — the shared generator
-        in compat/fast draw modes, the per-(interval, group) watch stream
-        in grouped mode.
+        ``rng`` is required.  The historical ``None`` fallback built a
+        *fresh* seed-0 generator per call, so repeated calls without a
+        generator all returned the same draw.  Every simulator path supplies
+        its own stream — the shared generator in compat/fast draw modes, the
+        per-(interval, group) watch stream in grouped mode.
         """
-        rng = rng if rng is not None else np.random.default_rng(0)
+        if rng is None:
+            raise ValueError(
+                "sample_watch_duration requires an explicit rng; derive one "
+                "from the repro.sim.rng registry (the historical fallback, "
+                "legacy_stream(0), returned the same draw on every call)"
+            )
         weight = preference.weight(video.category)
         # Inlined completion_probability / mean_watched_fraction (hot path).
         if rng.random() < min(

@@ -55,7 +55,12 @@ class RandomGrouper(Grouper):
         n = points.shape[0]
         if n < self.num_groups:
             raise ValueError(f"cannot form {self.num_groups} groups from {n} users")
-        rng = rng if rng is not None else np.random.default_rng(0)
+        if rng is None:
+            raise ValueError(
+                "RandomGrouper.group requires an explicit rng; derive one "
+                "from the repro.sim.rng registry (e.g. legacy_stream(0) for "
+                "the historical default)"
+            )
         labels = np.empty(n, dtype=int)
         order = rng.permutation(n)
         labels[order[: self.num_groups]] = np.arange(self.num_groups)

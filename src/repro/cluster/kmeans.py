@@ -104,13 +104,22 @@ class KMeansPlusPlus:
         self.restarts = restarts
 
     def fit(self, points: np.ndarray, rng: Optional[np.random.Generator] = None) -> KMeansResult:
-        """Cluster ``points`` (shape ``(n, d)``) and return the best result."""
+        """Cluster ``points`` (shape ``(n, d)``) and return the best result.
+
+        ``rng`` is required: seeding draws from it, and a silent default
+        would hide the caller's reproducibility contract.
+        """
+        if rng is None:
+            raise ValueError(
+                "KMeansPlusPlus.fit requires an explicit rng; derive one from "
+                "the repro.sim.rng registry (e.g. legacy_stream(0) for the "
+                "historical default)"
+            )
         points = np.atleast_2d(np.asarray(points, dtype=np.float64))
         if points.shape[0] < self.num_clusters:
             raise ValueError(
                 f"cannot form {self.num_clusters} clusters from {points.shape[0]} points"
             )
-        rng = rng if rng is not None else np.random.default_rng(0)
         best: Optional[KMeansResult] = None
         for _ in range(self.restarts):
             result = self._single_run(points, rng)

@@ -79,7 +79,10 @@ class UDTFeatureCompressor:
 
     def __init__(self, config: Optional[CompressorConfig] = None) -> None:
         self.config = config if config is not None else CompressorConfig()
-        rng = np.random.default_rng(self.config.seed)
+        # Imported lazily: repro.sim pulls in modules that import this one.
+        from repro.sim.rng import legacy_stream
+
+        rng = legacy_stream(self.config.seed)
         config = self.config
 
         encoder: List[Layer] = []

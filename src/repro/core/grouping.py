@@ -95,7 +95,10 @@ class MulticastGroupConstructor:
             )
         )
         self.trained = False
-        self._rng = np.random.default_rng(seed)
+        # Imported lazily: repro.sim pulls in modules that import this one.
+        from repro.sim.rng import legacy_stream
+
+        self._rng = legacy_stream(seed)
         self._last_k = 0
         self._last_quality = 0.0
 

@@ -90,7 +90,10 @@ class ChallengeDatasetGenerator:
     def generate(self) -> DatasetBundle:
         """Generate the full dataset bundle."""
         config = self.config
-        rng = np.random.default_rng(config.seed)
+        # Imported lazily: repro.sim pulls in modules that import this one.
+        from repro.sim.rng import legacy_stream
+
+        rng = legacy_stream(config.seed)
         catalog = self.build_catalog()
         preferences = self.build_preferences(rng)
         generator = SessionGenerator(

@@ -54,7 +54,12 @@ def train_test_split(
         train_traces = traces[:split_index]
         test_traces = traces[split_index:]
     else:
-        rng = rng if rng is not None else np.random.default_rng(0)
+        if rng is None:
+            raise ValueError(
+                "train_test_split(by='user') requires an explicit rng; "
+                "derive one from the repro.sim.rng registry (e.g. "
+                "legacy_stream(0) for the historical default)"
+            )
         user_ids = sorted({user.user_id for user in bundle.users})
         num_test = max(int(round(len(user_ids) * test_fraction)), 1)
         test_users = set(rng.choice(user_ids, size=num_test, replace=False).tolist())

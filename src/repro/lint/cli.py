@@ -10,7 +10,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.lint.baseline import Baseline, apply_baseline, load_baseline, save_baseline
 from repro.lint.context import LintConfig, LintContext
@@ -19,6 +19,8 @@ from repro.lint import schema as schema_mod
 
 DEFAULT_BASELINE = "tests/goldens/lint_baseline.json"
 DEFAULT_SNAPSHOT = "tests/goldens/export_schema.json"
+DEFAULT_BENCH_SNAPSHOT = "tests/goldens/bench_schema.json"
+BENCH_RESULTS_DIR = "benchmarks/results"
 
 
 def default_root() -> Path:
@@ -53,6 +55,25 @@ def add_lint_parser(subparsers) -> None:
         help="repository root (default: discovered from the package path)",
     )
     parser.add_argument(
+        "--source-dir",
+        action="append",
+        metavar="DIR",
+        default=None,
+        help=(
+            "scan DIR (relative to root) instead of src/; repeatable, "
+            "e.g. --source-dir benchmarks"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "github"),
+        default="text",
+        help=(
+            "finding output format: 'github' emits ::error workflow "
+            "annotations for new findings and stale baseline entries"
+        ),
+    )
+    parser.add_argument(
         "--baseline",
         default=None,
         metavar="PATH",
@@ -85,6 +106,15 @@ def add_lint_parser(subparsers) -> None:
         help=f"schema snapshot file (default: <root>/{DEFAULT_SNAPSHOT})",
     )
     parser.add_argument(
+        "--bench-snapshot",
+        default=None,
+        metavar="PATH",
+        help=(
+            "benchmark results snapshot file "
+            f"(default: <root>/{DEFAULT_BENCH_SNAPSHOT})"
+        ),
+    )
+    parser.add_argument(
         "--update",
         action="store_true",
         help="with --schema: rewrite the committed snapshot",
@@ -109,28 +139,63 @@ def _emit_json(payload: dict, destination: Optional[str]) -> None:
 
 def run_lint_command(args: argparse.Namespace) -> int:
     root = Path(args.root).resolve() if args.root else default_root()
-    if not (root / "src").is_dir():
-        print(f"error: {root} has no src/ directory", file=sys.stderr)
+    source_dirs = tuple(args.source_dir) if args.source_dir else ("src",)
+    missing = [d for d in source_dirs if not (root / d).is_dir()]
+    if missing:
+        print(
+            f"error: {root} has no {'/'.join(missing)}/ directory",
+            file=sys.stderr,
+        )
         return 2
     if args.schema:
         return _run_schema(args, root)
-    return _run_static(args, root)
+    return _run_static(args, root, source_dirs)
 
 
 # ------------------------------------------------------------------ static
-def _run_static(args: argparse.Namespace, root: Path) -> int:
+def _github_annotation(finding) -> str:
+    """One GitHub workflow-command annotation line for a finding."""
+    message = finding.message.replace("\n", " ")
+    if finding.hint:
+        message += f" (fix: {finding.hint})"
+    return (
+        f"::error file={finding.path},line={finding.line},"
+        f"col={finding.col},title={finding.rule}::{message}"
+    )
+
+
+def _burn_down(previous: Baseline, findings) -> list:
+    """Per-rule ``RULE old -> new`` delta lines for --update-baseline."""
+    from collections import Counter
+
+    before: Counter = Counter()
+    for (rule, _path, _scope, _message), count in previous.entries.items():
+        before[rule] += count
+    after = Counter(finding.rule for finding in findings)
+    return [
+        f"  {rule} {before.get(rule, 0)} -> {after.get(rule, 0)}"
+        for rule in sorted(set(before) | set(after))
+    ]
+
+
+def _run_static(
+    args: argparse.Namespace, root: Path, source_dirs: Tuple[str, ...]
+) -> int:
     quiet = args.json == "-"
-    context = LintContext(LintConfig(root=root))
+    context = LintContext(LintConfig(root=root, source_dirs=source_dirs))
     findings = run_rules(context)
     baseline_path = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
 
     if args.update_baseline:
+        previous = load_baseline(baseline_path)
         save_baseline(baseline_path, findings)
         if not quiet:
             print(
                 f"baseline rewritten: {len(findings)} finding(s) -> "
                 f"{baseline_path}"
             )
+            for line in _burn_down(previous, findings):
+                print(line)
         _emit_json(
             {"findings": [f.to_dict() for f in findings], "baselined": True},
             args.json,
@@ -161,16 +226,29 @@ def _run_static(args: argparse.Namespace, root: Path) -> int:
     _emit_json(payload, args.json)
 
     if not quiet:
-        for finding in result.new:
-            print(finding.render())
-        if args.show_baselined:
-            for finding in result.baselined:
-                print(f"[baselined] {finding.render()}")
-        for (rule, path, scope, message), count in result.stale:
-            print(
-                f"stale baseline entry ({count}x): {rule} {path} "
-                f"[{scope}] {message}"
-            )
+        if args.format == "github":
+            try:
+                baseline_rel = baseline_path.resolve().relative_to(root)
+            except ValueError:
+                baseline_rel = baseline_path
+            for finding in result.new:
+                print(_github_annotation(finding))
+            for (rule, path, scope, message), count in result.stale:
+                print(
+                    f"::error file={baseline_rel},title=stale-baseline::"
+                    f"{count}x {rule} {path} [{scope}] {message}"
+                )
+        else:
+            for finding in result.new:
+                print(finding.render())
+            if args.show_baselined:
+                for finding in result.baselined:
+                    print(f"[baselined] {finding.render()}")
+            for (rule, path, scope, message), count in result.stale:
+                print(
+                    f"stale baseline entry ({count}x): {rule} {path} "
+                    f"[{scope}] {message}"
+                )
         print(
             f"repro lint: {len(result.new)} new, {len(result.baselined)} "
             f"baselined, {len(result.stale)} stale baseline entr"
@@ -196,7 +274,18 @@ def _run_static(args: argparse.Namespace, root: Path) -> int:
 def _run_schema(args: argparse.Namespace, root: Path) -> int:
     quiet = args.json == "-"
     snapshot_path = Path(args.snapshot) if args.snapshot else root / DEFAULT_SNAPSHOT
+    bench_path = (
+        Path(args.bench_snapshot)
+        if args.bench_snapshot
+        else root / DEFAULT_BENCH_SNAPSHOT
+    )
+    results_dir = root / BENCH_RESULTS_DIR
     actual = schema_mod.snapshot_registry()
+    bench_actual = (
+        schema_mod.snapshot_bench_results(results_dir)
+        if results_dir.is_dir()
+        else None
+    )
     if args.update:
         schema_mod.save_snapshot(snapshot_path, actual)
         if not quiet:
@@ -204,7 +293,15 @@ def _run_schema(args: argparse.Namespace, root: Path) -> int:
                 f"schema snapshot rewritten for "
                 f"{len(actual['scenarios'])} scenario(s) -> {snapshot_path}"
             )
-        _emit_json(actual, args.json)
+        if bench_actual is not None:
+            schema_mod.save_snapshot(bench_path, bench_actual)
+            if not quiet:
+                print(
+                    f"bench snapshot rewritten for "
+                    f"{len(bench_actual['results'])} result file(s) -> "
+                    f"{bench_path}"
+                )
+        _emit_json({"registry": actual, "bench": bench_actual}, args.json)
         return 0
     expected = schema_mod.load_snapshot(snapshot_path)
     if expected is None:
@@ -215,25 +312,46 @@ def _run_schema(args: argparse.Namespace, root: Path) -> int:
         )
         return 2
     problems = schema_mod.diff_snapshot(expected, actual)
+    bench_problems = []
+    if bench_actual is not None:
+        bench_expected = schema_mod.load_snapshot(bench_path)
+        if bench_expected is None:
+            print(
+                f"error: no committed bench snapshot at {bench_path}; run "
+                "repro lint --schema --update",
+                file=sys.stderr,
+            )
+            return 2
+        bench_problems = schema_mod.diff_bench_snapshot(
+            bench_expected, bench_actual
+        )
     _emit_json(
         {
             "snapshot": str(snapshot_path),
             "scenarios": sorted(actual["scenarios"]),
             "problems": problems,
+            "bench_snapshot": str(bench_path),
+            "bench_results": sorted((bench_actual or {}).get("results", {})),
+            "bench_problems": bench_problems,
         },
         args.json,
     )
     if not quiet:
         for problem in problems:
             print(f"schema drift: {problem}")
+        for problem in bench_problems:
+            print(f"bench schema drift: {problem}")
         print(
             f"repro lint --schema: {len(problems)} problem(s) across "
-            f"{len(actual['scenarios'])} scenario(s)"
+            f"{len(actual['scenarios'])} scenario(s), "
+            f"{len(bench_problems)} problem(s) across "
+            f"{len((bench_actual or {}).get('results', {}))} benchmark "
+            "result file(s)"
         )
-        if problems:
+        if problems or bench_problems:
             print(
                 "export shapes drifted from the committed snapshot; if "
                 "intentional, run repro lint --schema --update and commit",
                 file=sys.stderr,
             )
-    return 1 if problems else 0
+    return 1 if (problems or bench_problems) else 0

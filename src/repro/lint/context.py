@@ -108,8 +108,36 @@ class ModuleInfo:
         return None
 
 
+def resolve_import_from(
+    module: str, is_package: bool, node: ast.ImportFrom
+) -> Optional[str]:
+    """Absolute module an ``ImportFrom`` pulls from, resolving relativity.
+
+    ``module`` is the importing module's dotted name; ``is_package`` is
+    whether it is a package ``__init__``.  Returns ``None`` when the
+    relative import escapes the project root.
+    """
+    if node.level == 0:
+        return node.module
+    parts = module.split(".")
+    anchor = parts if is_package else parts[:-1]
+    up = node.level - 1
+    if up > len(anchor):
+        return None
+    base = anchor[: len(anchor) - up]
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base) if base else None
+
+
 class LintContext:
-    """Parsed project + import graph + worker-reachable module set."""
+    """Parsed project + import graph + worker-reachable module set.
+
+    Also the memoisation point for the two dataflow layers: rules share one
+    :class:`~repro.lint.dataflow.ModuleDataflow` per module and one
+    :class:`~repro.lint.callgraph.CallGraph` per scan, so adding
+    flow-sensitive rules does not multiply parse/walk cost.
+    """
 
     def __init__(self, config: LintConfig) -> None:
         self.config = config
@@ -118,6 +146,27 @@ class LintContext:
         self._discover()
         self.import_graph = self._build_import_graph()
         self.worker_modules = self._reachable(config.worker_entry_modules)
+        self._dataflow_cache: Dict[str, object] = {}
+        self._callgraph: Optional[object] = None
+
+    # ------------------------------------------------------------ dataflow
+    def dataflow(self, info: ModuleInfo):
+        """Memoised intraprocedural analysis of one module."""
+        cached = self._dataflow_cache.get(info.module)
+        if cached is None:
+            from repro.lint.dataflow import ModuleDataflow
+
+            cached = ModuleDataflow(info, self.config)
+            self._dataflow_cache[info.module] = cached
+        return cached
+
+    def callgraph(self):
+        """Memoised interprocedural summary over the whole project."""
+        if self._callgraph is None:
+            from repro.lint.callgraph import CallGraph
+
+            self._callgraph = CallGraph(self)
+        return self._callgraph
 
     # ----------------------------------------------------------- discovery
     def _discover(self) -> None:
@@ -165,19 +214,8 @@ class LintContext:
         return graph
 
     def _resolve_from(self, module: str, node: ast.ImportFrom) -> Optional[str]:
-        if node.level == 0:
-            return node.module
-        # Relative import: walk up from the importing module's package.
-        parts = module.split(".")
         is_package = self.modules[module].path.name == "__init__.py"
-        anchor = parts if is_package else parts[:-1]
-        up = node.level - 1
-        if up > len(anchor):
-            return None
-        base = anchor[: len(anchor) - up]
-        if node.module:
-            base = base + node.module.split(".")
-        return ".".join(base) if base else None
+        return resolve_import_from(module, is_package, node)
 
     def _add_edge(self, edges: Set[str], target: Optional[str]) -> None:
         """Record ``target`` if it (or a parent package) is project-internal."""

@@ -1,0 +1,546 @@
+"""Layer 1 of the lint dataflow: intraprocedural RNG/I-O provenance.
+
+Every function (plus a ``<module>`` pseudo-scope covering module and class
+bodies) is walked statement by statement with a small abstract environment
+mapping local names — and ``self.<attr>`` stores — to a *provenance*:
+
+``raw``
+    the value originates from a numpy generator constructor
+    (``default_rng``, ``Generator``, ``RandomState``, ``SeedSequence``)
+    called outside the registry, possibly through aliases, tuple unpacks,
+    or a factory reference (``make = np.random.default_rng``).
+``registry``
+    the value came out of an allowed registry module
+    (:attr:`LintConfig.rng_allowed_modules`) — directly, through a
+    from-import alias, or as a method call on a registry-provenance object.
+``unknown``
+    anything else (parameters, arbitrary calls).  Unknown never triggers a
+    finding, so the analysis only reports what it can actually prove.
+
+The walk is deliberately approximate where approximation is safe for a
+linter: branches of ``if``/``try`` are traversed sequentially over one
+shared environment, and joins (``IfExp``/``or``) resolve to ``raw`` if any
+arm is raw.  Each raw constructor call becomes exactly one :class:`RawSite`
+that downstream rules *claim* with a fixed priority — silent fallback
+(RNG003) over returned generator (RNG004) over plain construction
+(RNG001) — so one defect yields one finding.
+
+The same pass records call-time file I/O (``open``, ``json.load``,
+``np.load``, ``Path.read_text``, ...) and every call expression, which is
+what the interprocedural layer (:mod:`repro.lint.callgraph`) consumes.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.context import (
+    LintConfig,
+    ModuleInfo,
+    resolve_dotted,
+    resolve_import_from,
+)
+
+#: numpy.random entry points that construct a generator / entropy source.
+CONSTRUCTORS = {"default_rng", "Generator", "RandomState", "SeedSequence"}
+
+#: Legacy module-level draw functions on ``numpy.random`` (global state).
+LEGACY_DRAWS = {
+    "beta", "binomial", "choice", "exponential", "gamma", "normal",
+    "permutation", "poisson", "rand", "randint", "randn", "random",
+    "random_sample", "seed", "shuffle", "standard_normal", "uniform",
+}
+
+#: Call-time file I/O by canonical dotted name.
+IO_CALLS = {
+    "open",
+    "io.open",
+    "json.load",
+    "json.dump",
+    "pickle.load",
+    "pickle.dump",
+    "numpy.load",
+    "numpy.save",
+    "numpy.savez",
+    "numpy.savez_compressed",
+    "numpy.savetxt",
+    "numpy.loadtxt",
+    "numpy.genfromtxt",
+    "numpy.fromfile",
+    "numpy.tofile",
+}
+
+#: Call-time file I/O by method name (``Path.read_text`` and friends —
+#: the receiver's type is unknown statically, but these names are
+#: file-system verbs by strong convention).
+IO_METHODS = {"read_text", "read_bytes", "write_text", "write_bytes"}
+
+RAW = "raw"
+REGISTRY = "registry"
+UNKNOWN = "unknown"
+
+#: Claim states of a raw constructor site, in priority order.
+CLAIM_FALLBACK = "fallback"
+CLAIM_RETURNED = "returned"
+CLAIM_CONSTRUCT = "construct"
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Abstract value: where did this expression's result come from?"""
+
+    kind: str
+    #: Constructor name for raw values (``"default_rng"``).
+    target: Optional[str] = None
+    #: The originating constructor call, when there is a concrete one.
+    source: Optional[ast.Call] = None
+    #: True for an *uncalled* reference to a constructor/registry function
+    #: (``make = np.random.default_rng``): calling it produces the value,
+    #: holding it does not.
+    factory: bool = False
+
+
+UNKNOWN_PROV = Provenance(UNKNOWN)
+
+
+@dataclass
+class RawSite:
+    """One raw generator construction, claimed by exactly one rule."""
+
+    node: ast.Call
+    target: str
+    claim: str = CLAIM_CONSTRUCT
+
+
+@dataclass
+class ReturnSite:
+    """A ``return`` whose value provably carries a raw generator."""
+
+    node: ast.stmt
+    site: RawSite
+
+
+@dataclass
+class IoSite:
+    """A call-time file-system access."""
+
+    node: ast.Call
+    description: str
+
+
+@dataclass
+class ScopeFacts:
+    """Everything the rules need to know about one scope."""
+
+    qualname: str
+    node: Optional[ast.AST]
+    raw_sites: List[RawSite] = field(default_factory=list)
+    legacy_draws: List[Tuple[ast.Call, str]] = field(default_factory=list)
+    return_sites: List[ReturnSite] = field(default_factory=list)
+    io_sites: List[IoSite] = field(default_factory=list)
+    calls: List[ast.Call] = field(default_factory=list)
+    rng_params: Tuple[str, ...] = ()
+
+    @property
+    def is_function(self) -> bool:
+        return self.node is not None
+
+
+def collect_aliases(info: ModuleInfo) -> Dict[str, str]:
+    """Local name -> canonical dotted target, for *all* imports.
+
+    Function-level (lazy) imports are included: the repo routes circular
+    imports through them, so provenance must see through both forms.  A
+    name imported differently in two scopes resolves to the later binding —
+    an accepted imprecision that has never applied to this tree.
+    """
+    aliases: Dict[str, str] = {}
+    is_package = info.path.name == "__init__.py"
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            target = resolve_import_from(info.module, is_package, node)
+            if target is None:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = f"{target}.{alias.name}"
+    return aliases
+
+
+def _join(provs: List[Provenance]) -> Provenance:
+    """Branch join: raw dominates (it is what the rules must not miss)."""
+    for prov in provs:
+        if prov.kind == RAW and not prov.factory:
+            return prov
+    for prov in provs:
+        if prov.kind == REGISTRY:
+            return prov
+    return UNKNOWN_PROV
+
+
+class _ScopeWalker:
+    """Single-pass abstract interpreter for one scope."""
+
+    def __init__(
+        self,
+        dataflow: "ModuleDataflow",
+        facts: ScopeFacts,
+        body: List[ast.stmt],
+        module_scope: bool,
+    ) -> None:
+        self.df = dataflow
+        self.facts = facts
+        self.body = body
+        self.module_scope = module_scope
+        self.env: Dict[str, Provenance] = {}
+        self._call_prov: Dict[int, Provenance] = {}
+        self._seen_calls: Set[int] = set()
+
+    # ------------------------------------------------------------- driving
+    def run(self) -> None:
+        if isinstance(
+            self.facts.node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            self.facts.rng_params = tuple(
+                self._rng_params(self.facts.node)
+            )
+        self._block(self.body)
+        claimed_fallback = {
+            id(site.node)
+            for site in self.facts.raw_sites
+            if site.claim == CLAIM_FALLBACK
+        }
+        for ret in self.facts.return_sites:
+            if id(ret.site.node) not in claimed_fallback:
+                ret.site.claim = CLAIM_RETURNED
+
+    @staticmethod
+    def _rng_params(node: ast.AST) -> List[str]:
+        names = []
+        args = node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            annotation = (
+                ast.unparse(arg.annotation) if arg.annotation else ""
+            )
+            if "rng" in arg.arg.lower() or "Generator" in annotation:
+                names.append(arg.arg)
+        return names
+
+    # ---------------------------------------------------------- statements
+    def _block(self, stmts: List[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # separate scope
+        if isinstance(stmt, ast.ClassDef):
+            if self.module_scope:
+                self._block(stmt.body)  # class bodies run at import time
+            return
+        if isinstance(stmt, ast.Assign):
+            self._scan(stmt.value)
+            prov = self._prov(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, stmt.value, prov)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._scan(stmt.value)
+                self._bind(stmt.target, stmt.value, self._prov(stmt.value))
+            return
+        if isinstance(stmt, ast.Return):
+            self._scan(stmt.value)
+            self._record_return(stmt)
+            return
+        if isinstance(stmt, ast.If):
+            self._scan(stmt.test)
+            self._claim_if_none_fallback(stmt)
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._scan(stmt.iter)
+            self._bind(stmt.target, None, UNKNOWN_PROV)
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+            return
+        if isinstance(stmt, ast.While):
+            self._scan(stmt.test)
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._scan(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(
+                        item.optional_vars,
+                        item.context_expr,
+                        self._prov(item.context_expr),
+                    )
+            self._block(stmt.body)
+            return
+        if isinstance(stmt, ast.Try):
+            self._block(stmt.body)
+            for handler in stmt.handlers:
+                self._block(handler.body)
+            self._block(stmt.orelse)
+            self._block(stmt.finalbody)
+            return
+        # Everything else (Expr, Raise, Assert, AugAssign, ...): classify
+        # any call expressions it contains, no binding effects.
+        self._scan(stmt)
+
+    # -------------------------------------------------------- environments
+    def _bind(
+        self,
+        target: ast.AST,
+        value: Optional[ast.AST],
+        prov: Provenance,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = prov
+        elif isinstance(target, ast.Attribute):
+            dotted = self._attr_key(target)
+            if dotted is not None:
+                self.env[dotted] = prov
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elements = list(target.elts)
+            values: List[Optional[ast.AST]] = [None] * len(elements)
+            if isinstance(value, (ast.Tuple, ast.List)) and len(
+                value.elts
+            ) == len(elements):
+                values = list(value.elts)
+            for element, element_value in zip(elements, values):
+                element_prov = (
+                    self._prov(element_value)
+                    if element_value is not None
+                    else UNKNOWN_PROV
+                )
+                self._bind(element, element_value, element_prov)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, None, UNKNOWN_PROV)
+
+    @staticmethod
+    def _attr_key(node: ast.Attribute) -> Optional[str]:
+        """``self.x`` / ``cls.x`` store key, None for anything deeper."""
+        if isinstance(node.value, ast.Name) and node.value.id in (
+            "self",
+            "cls",
+        ):
+            return f"{node.value.id}.{node.attr}"
+        return None
+
+    # ---------------------------------------------------------- provenance
+    def _prov(self, expr: Optional[ast.AST]) -> Provenance:
+        if expr is None:
+            return UNKNOWN_PROV
+        if isinstance(expr, ast.Call):
+            return self._call_prov.get(id(expr), UNKNOWN_PROV)
+        if isinstance(expr, ast.Name):
+            return self.env.get(expr.id, UNKNOWN_PROV)
+        if isinstance(expr, ast.Attribute):
+            key = self._attr_key(expr)
+            if key is not None and key in self.env:
+                return self.env[key]
+            dotted = resolve_dotted(expr, self.df.aliases)
+            if dotted is not None:
+                return self._dotted_factory_prov(dotted)
+            return UNKNOWN_PROV
+        if isinstance(expr, ast.IfExp):
+            return _join([self._prov(expr.body), self._prov(expr.orelse)])
+        if isinstance(expr, ast.BoolOp):
+            return _join([self._prov(value) for value in expr.values])
+        if isinstance(expr, ast.NamedExpr):
+            prov = self._prov(expr.value)
+            self._bind(expr.target, expr.value, prov)
+            return prov
+        if isinstance(expr, ast.Await):
+            return self._prov(expr.value)
+        return UNKNOWN_PROV
+
+    def _dotted_factory_prov(self, dotted: str) -> Provenance:
+        """Provenance of an *uncalled* dotted reference."""
+        if dotted.startswith("numpy.random."):
+            tail = dotted[len("numpy.random."):]
+            if tail in CONSTRUCTORS:
+                return Provenance(RAW, target=tail, factory=True)
+        if self.df.is_registry_target(dotted):
+            return Provenance(REGISTRY, factory=True)
+        return UNKNOWN_PROV
+
+    # ------------------------------------------------------ call scanning
+    def _scan(self, node: Optional[ast.AST]) -> None:
+        """Classify every call expression under ``node`` exactly once.
+
+        Calls are classified innermost-first (reversed BFS order) so that a
+        chained call sees its receiver's provenance, and fallback claims
+        run only after every call in the expression is classified.
+        """
+        if node is None:
+            return
+        nodes = list(ast.walk(node))
+        for child in reversed(nodes):
+            if isinstance(child, ast.Call) and id(child) not in self._seen_calls:
+                self._seen_calls.add(id(child))
+                self._call_prov[id(child)] = self._classify(child)
+        for child in nodes:
+            if isinstance(child, ast.IfExp):
+                self._claim_fallback_expr(child.orelse)
+            elif isinstance(child, ast.BoolOp) and isinstance(
+                child.op, ast.Or
+            ):
+                for value in child.values[1:]:
+                    self._claim_fallback_expr(value)
+
+    def _classify(self, call: ast.Call) -> Provenance:
+        self.facts.calls.append(call)
+        dotted = resolve_dotted(call.func, self.df.aliases)
+        if dotted is not None:
+            if dotted.startswith("numpy.random."):
+                tail = dotted[len("numpy.random."):]
+                if tail in CONSTRUCTORS:
+                    site = RawSite(node=call, target=tail)
+                    self.facts.raw_sites.append(site)
+                    return Provenance(RAW, target=tail, source=call)
+                if tail in LEGACY_DRAWS:
+                    self.facts.legacy_draws.append((call, tail))
+                    return UNKNOWN_PROV
+            if self.df.is_registry_target(dotted):
+                return Provenance(REGISTRY)
+            if dotted in IO_CALLS:
+                self.facts.io_sites.append(
+                    IoSite(node=call, description=f"{dotted}(...)")
+                )
+                return UNKNOWN_PROV
+        func = call.func
+        if isinstance(func, ast.Name):
+            bound = self.env.get(func.id)
+            if bound is not None and bound.factory:
+                if bound.kind == RAW:
+                    site = RawSite(node=call, target=bound.target or "")
+                    self.facts.raw_sites.append(site)
+                    return Provenance(
+                        RAW, target=bound.target, source=call
+                    )
+                if bound.kind == REGISTRY:
+                    return Provenance(REGISTRY)
+        if isinstance(func, ast.Attribute):
+            if func.attr in IO_METHODS:
+                self.facts.io_sites.append(
+                    IoSite(node=call, description=f".{func.attr}(...)")
+                )
+                return UNKNOWN_PROV
+            base = self._prov(func.value)
+            if base.kind == REGISTRY and not base.factory:
+                # Methods on registry objects (RngRegistry.watch_stream)
+                # hand out registry streams.
+                return Provenance(REGISTRY)
+        return UNKNOWN_PROV
+
+    # ------------------------------------------------------------ patterns
+    def _claim_fallback_expr(self, expr: ast.AST) -> None:
+        """Claim the raw site feeding a fallback arm, if there is one."""
+        prov = self._prov(expr)
+        if prov.kind == RAW and not prov.factory and prov.source is not None:
+            self._claim_site(prov.source)
+
+    def _claim_site(self, call: ast.Call) -> None:
+        for site in self.facts.raw_sites:
+            if site.node is call:
+                site.claim = CLAIM_FALLBACK
+                return
+
+    def _claim_if_none_fallback(self, stmt: ast.If) -> None:
+        """``if x is None: x = <raw>`` — raw may flow through a local."""
+        test = stmt.test
+        if not (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Is)
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None
+        ):
+            return
+        guarded = test.left
+        for inner in stmt.body:
+            if not isinstance(inner, ast.Assign):
+                continue
+            if not any(
+                ast.unparse(target) == ast.unparse(guarded)
+                for target in inner.targets
+            ):
+                continue
+            self._scan(inner.value)
+            self._claim_fallback_expr(inner.value)
+
+    def _record_return(self, stmt: ast.Return) -> None:
+        value = stmt.value
+        if value is None:
+            return
+        candidates: List[ast.AST] = [value]
+        if isinstance(value, (ast.Tuple, ast.List)):
+            candidates = list(value.elts)
+        for candidate in candidates:
+            prov = self._prov(candidate)
+            if (
+                prov.kind == RAW
+                and not prov.factory
+                and prov.source is not None
+            ):
+                for site in self.facts.raw_sites:
+                    if site.node is prov.source:
+                        self.facts.return_sites.append(
+                            ReturnSite(node=stmt, site=site)
+                        )
+                        break
+
+
+class ModuleDataflow:
+    """Per-module intraprocedural analysis: one :class:`ScopeFacts` per
+    function plus the ``<module>`` pseudo-scope."""
+
+    def __init__(self, info: ModuleInfo, config: LintConfig) -> None:
+        self.info = info
+        self.config = config
+        self.aliases = collect_aliases(info)
+        self.scopes: List[ScopeFacts] = []
+        self._analyze()
+
+    def is_registry_target(self, dotted: str) -> bool:
+        """Does ``dotted`` name something inside an allowed rng module?"""
+        for module in self.config.rng_allowed_modules:
+            if dotted == module or dotted.startswith(module + "."):
+                return True
+        return False
+
+    def _analyze(self) -> None:
+        info = self.info
+        module_facts = ScopeFacts(qualname="<module>", node=None)
+        _ScopeWalker(
+            self, module_facts, list(info.tree.body), module_scope=True
+        ).run()
+        self.scopes.append(module_facts)
+        for node in ast.walk(info.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                facts = ScopeFacts(
+                    qualname=info.qualname_of(node.body[0])
+                    if node.body
+                    else node.name,
+                    node=node,
+                )
+                _ScopeWalker(
+                    self, facts, list(node.body), module_scope=False
+                ).run()
+                self.scopes.append(facts)
+
+    def function_scopes(self) -> List[ScopeFacts]:
+        return [scope for scope in self.scopes if scope.is_function]

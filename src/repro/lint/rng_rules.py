@@ -5,67 +5,54 @@ comes from a stream derived from a structured key.  A generator constructed
 anywhere else is order-dependent state; a ``default_rng(0)`` fallback
 silently correlates every caller that forgot to pass a stream.
 
+Since the baseline burned to zero these rules are flow-sensitive: the
+intraprocedural pass of :mod:`repro.lint.dataflow` tracks generator
+provenance through assignments, tuple unpacks, ``self._rng = ...`` stores
+and factory aliases (``make = np.random.default_rng``), so a construction
+cannot hide behind a local name.  Each raw construction site is *claimed*
+by exactly one rule — fallback over return over plain construction — so
+one defect yields one finding.
+
 ``RNG001``
-    direct construction of a numpy generator (``default_rng``,
-    ``Generator``, ``RandomState``, ``SeedSequence``) or a legacy
-    ``np.random.*`` module-level draw outside the registry module.
+    construction of a numpy generator (``default_rng``, ``Generator``,
+    ``RandomState``, ``SeedSequence``) outside the registry module,
+    including through a factory alias, or a legacy ``np.random.*``
+    module-level draw.
 ``RNG002``
     stdlib ``random`` imported or used at all.
 ``RNG003``
     a ``rng=None`` parameter silently falling back to a locally
-    constructed generator (``rng if rng is not None else default_rng(0)``,
-    ``rng or default_rng(0)``, or ``if rng is None: rng = default_rng(0)``).
+    constructed generator — directly (``rng or default_rng(0)``) or
+    routed through a helper local (``fresh = default_rng(0); rng = rng
+    if rng is not None else fresh``).
+``RNG004``
+    a function *returns* a raw generator, handing unregistered entropy to
+    its callers (registry-derived returns are exempt).
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterable, Optional, Set
+from typing import Iterable, Set
 
-from repro.lint.context import LintContext, numpy_random_aliases, resolve_dotted
+from repro.lint.context import LintContext, ModuleInfo
+from repro.lint.dataflow import (
+    CLAIM_CONSTRUCT,
+    CLAIM_FALLBACK,
+    CLAIM_RETURNED,
+    ModuleDataflow,
+)
 from repro.lint.findings import Finding
 from repro.lint.rules import Rule, register_rule
 
-#: numpy.random entry points that construct a generator / entropy source.
-_CONSTRUCTORS = {"default_rng", "Generator", "RandomState", "SeedSequence"}
 
-#: Legacy module-level draw functions on ``numpy.random`` (global state).
-_LEGACY_DRAWS = {
-    "beta", "binomial", "choice", "exponential", "gamma", "normal",
-    "permutation", "poisson", "rand", "randint", "randn", "random",
-    "random_sample", "seed", "shuffle", "standard_normal", "uniform",
-}
-
-
-def _numpy_random_target(node: ast.Call, aliases: dict) -> Optional[str]:
-    """``numpy.random.X`` name this call resolves to, if any."""
-    dotted = resolve_dotted(node.func, aliases)
-    if dotted is None or not dotted.startswith("numpy.random."):
-        return None
-    return dotted[len("numpy.random."):]
-
-
-def _is_conditional_fallback(info, node: ast.Call) -> bool:
-    """Is ``node`` the fallback branch of an rng-default pattern?"""
-    parents = info.parent_map()
-    parent = parents.get(id(node))
-    if isinstance(parent, ast.IfExp) and parent.orelse is node:
-        return True
-    if isinstance(parent, ast.BoolOp) and isinstance(parent.op, ast.Or):
-        return node in parent.values[1:]
-    if isinstance(parent, ast.Assign):
-        grand = parents.get(id(parent))
-        if isinstance(grand, ast.If):
-            test = grand.test
-            if (
-                isinstance(test, ast.Compare)
-                and len(test.ops) == 1
-                and isinstance(test.ops[0], ast.Is)
-                and isinstance(test.comparators[0], ast.Constant)
-                and test.comparators[0].value is None
-            ):
-                return True
-    return False
+def _rng_modules(context: LintContext) -> Iterable[ModuleInfo]:
+    """Scanned modules minus the sanctioned registry modules."""
+    allowed: Set[str] = set(context.config.rng_allowed_modules)
+    for info in context.iter_modules():
+        if info.module in allowed:
+            continue
+        yield info
 
 
 @register_rule
@@ -76,34 +63,27 @@ class RngConstructionRule(Rule):
     )
     hint = (
         "derive the stream from a structured key via repro.sim.rng "
-        "(derive_stream / RngRegistry), or baseline a legacy compat shim"
+        "(derive_stream / RngRegistry), or route a bit-stable legacy seed "
+        "through legacy_stream"
     )
 
     def check(self, context: LintContext) -> Iterable[Finding]:
-        allowed: Set[str] = set(context.config.rng_allowed_modules)
-        for info in context.iter_modules():
-            if info.module in allowed:
-                continue
-            aliases = numpy_random_aliases(info.tree)
-            for node in ast.walk(info.tree):
-                if not isinstance(node, ast.Call):
-                    continue
-                target = _numpy_random_target(node, aliases)
-                if target is None:
-                    continue
-                if target in _CONSTRUCTORS:
-                    if _is_conditional_fallback(info, node):
-                        continue  # RNG003's, reported once there
+        for info in _rng_modules(context):
+            flow: ModuleDataflow = context.dataflow(info)
+            for scope in flow.scopes:
+                for site in scope.raw_sites:
+                    if site.claim != CLAIM_CONSTRUCT:
+                        continue  # RNG003/RNG004 claimed it
                     yield self.finding(
                         info,
-                        node,
-                        f"np.random.{target}(...) constructed outside the "
-                        "rng registry",
+                        site.node,
+                        f"np.random.{site.target}(...) constructed outside "
+                        "the rng registry",
                     )
-                elif target in _LEGACY_DRAWS:
+                for call, target in scope.legacy_draws:
                     yield self.finding(
                         info,
-                        node,
+                        call,
                         f"module-level np.random.{target}(...) draws from "
                         "hidden global state",
                     )
@@ -147,22 +127,42 @@ class SilentRngFallbackRule(Rule):
     )
 
     def check(self, context: LintContext) -> Iterable[Finding]:
-        allowed: Set[str] = set(context.config.rng_allowed_modules)
-        for info in context.iter_modules():
-            if info.module in allowed:
-                continue
-            aliases = numpy_random_aliases(info.tree)
-            for node in ast.walk(info.tree):
-                if not isinstance(node, ast.Call):
-                    continue
-                target = _numpy_random_target(node, aliases)
-                if target not in _CONSTRUCTORS:
-                    continue
-                if not _is_conditional_fallback(info, node):
-                    continue
-                rendered = ast.unparse(node)
-                yield self.finding(
-                    info,
-                    node,
-                    f"silent fallback to {rendered} when no rng is passed",
-                )
+        for info in _rng_modules(context):
+            flow: ModuleDataflow = context.dataflow(info)
+            for scope in flow.scopes:
+                for site in scope.raw_sites:
+                    if site.claim != CLAIM_FALLBACK:
+                        continue
+                    rendered = ast.unparse(site.node)
+                    yield self.finding(
+                        info,
+                        site.node,
+                        f"silent fallback to {rendered} when no rng is "
+                        "passed",
+                    )
+
+
+@register_rule
+class ReturnedGeneratorRule(Rule):
+    rule_id = "RNG004"
+    summary = "function returns a generator constructed outside the registry"
+    hint = (
+        "return a registry-derived stream (repro.sim.rng.derive_stream / "
+        "legacy_stream) or take the stream as a required parameter instead "
+        "of minting unregistered entropy for callers"
+    )
+
+    def check(self, context: LintContext) -> Iterable[Finding]:
+        for info in _rng_modules(context):
+            flow: ModuleDataflow = context.dataflow(info)
+            for scope in flow.scopes:
+                for ret in scope.return_sites:
+                    if ret.site.claim != CLAIM_RETURNED:
+                        continue  # fallback claims outrank returns
+                    rendered = ast.unparse(ret.site.node)
+                    yield self.finding(
+                        info,
+                        ret.node,
+                        "returns an unregistered generator "
+                        f"({rendered})",
+                    )

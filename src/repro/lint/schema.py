@@ -141,6 +141,46 @@ def snapshot_registry(intervals: int = 1) -> Dict[str, object]:
     return {"version": 1, "intervals": intervals, "scenarios": trees}
 
 
+# -------------------------------------------------------------- benchmarks
+def snapshot_bench_results(results_dir: Path) -> Dict[str, object]:
+    """Key-tree of every committed benchmark result JSON, keyed by filename.
+
+    Benchmark payloads are timing-laden and machine-dependent, so their
+    *values* can never be golden — but their *shape* is the harness
+    contract that CI assertions and plotting scripts consume.  The
+    key-tree pins that shape the same way the registry snapshot pins
+    ``RunResult`` exports.
+    """
+    trees: Dict[str, object] = {}
+    for path in sorted(Path(results_dir).glob("*.json")):
+        trees[path.name] = key_tree(json.loads(path.read_text()))
+    return {"version": 1, "results": trees}
+
+
+def diff_bench_snapshot(expected: dict, actual: dict) -> List[str]:
+    """File-aware diff of two benchmark-results snapshots."""
+    problems: List[str] = []
+    expected_trees = expected.get("results", {})
+    actual_trees = actual.get("results", {})
+    for name in sorted(expected_trees):
+        if name not in actual_trees:
+            problems.append(
+                f"benchmark result {name!r} disappeared from "
+                "benchmarks/results/"
+            )
+            continue
+        problems.extend(
+            f"{name}: {problem}"
+            for problem in diff_key_trees(expected_trees[name], actual_trees[name])
+        )
+    for name in sorted(set(actual_trees) - set(expected_trees)):
+        problems.append(
+            f"benchmark result {name!r} is new — commit an updated snapshot "
+            "(repro lint --schema --update)"
+        )
+    return problems
+
+
 def load_snapshot(path: Path) -> Optional[dict]:
     target = Path(path)
     if not target.exists():

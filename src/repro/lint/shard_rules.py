@@ -8,8 +8,12 @@ call time, and the dataclasses that travel to workers must carry only
 picklable data.
 
 ``SHARD001``
-    ``os.environ`` / ``os.getenv`` read inside a function of a
-    worker-reachable module (call-time environment dependence).
+    call-time impurity inside a function of a worker-reachable module:
+    ``os.environ`` / ``os.getenv`` reads, and — since the flow-sensitive
+    upgrade — file I/O (``open``, ``json.load``, ``np.load``,
+    ``Path.read_text``, ...).  Module-level I/O is import-time (fork-time)
+    and exempt; call-time I/O makes a worker's result depend on the
+    filesystem it happens to see.
 ``SHARD002``
     a task/handle/static dataclass field annotated with an unpicklable or
     stateful type (``Generator``, locks, callables, executors, ...).
@@ -20,6 +24,12 @@ picklable data.
     constants (lookup tables filled at import time) are exempt by
     convention — the rule targets state that *changes between calls*, and
     ``global`` rebinding is the unambiguous signal for that.
+``SHARD004``
+    a worker-reachable function consumes an unregistered generator through
+    a callee: the interprocedural summaries of
+    :mod:`repro.lint.callgraph` propagate "constructs a raw generator"
+    along resolved project-internal calls, so a helper that mints entropy
+    two hops away still surfaces at the worker-side call site.
 ``SHM001``
     a ``SharedMemory(create=True)`` site without an idempotent
     ``close()``/``unlink()`` pair in the owning class or module.
@@ -72,7 +82,10 @@ def _annotation_tokens(annotation: ast.AST) -> List[str]:
 @register_rule
 class WorkerEnvironRule(Rule):
     rule_id = "SHARD001"
-    summary = "worker-reachable code reads the environment at call time"
+    summary = (
+        "worker-reachable code consults the environment or filesystem at "
+        "call time"
+    )
     hint = (
         "resolve the value in the parent and ship it via ShardStatic / the "
         "task payload; worker behaviour must be a pure function of the key"
@@ -80,6 +93,18 @@ class WorkerEnvironRule(Rule):
 
     def check(self, context: LintContext) -> Iterable[Finding]:
         for info in context.iter_modules(sorted(context.worker_modules)):
+            # Call-time file I/O, from the intraprocedural dataflow pass.
+            # Only function bodies count: module-level reads happen at
+            # import (fork) time, before any task runs.
+            flow = context.dataflow(info)
+            for scope in flow.function_scopes():
+                for site in scope.io_sites:
+                    yield self.finding(
+                        info,
+                        site.node,
+                        f"call-time file I/O ({site.description}) in "
+                        "worker-reachable code",
+                    )
             for node in ast.walk(info.tree):
                 dotted: Optional[str] = None
                 if isinstance(node, ast.Attribute):
@@ -205,6 +230,41 @@ class WorkerMutableStateRule(Rule):
             )
             return name in ("list", "dict", "set", "defaultdict", "OrderedDict")
         return False
+
+
+@register_rule
+class WorkerRawRngRule(Rule):
+    rule_id = "SHARD004"
+    summary = (
+        "worker-reachable function consumes an unregistered generator via "
+        "a callee"
+    )
+    hint = (
+        "make the callee derive its stream from a repro.sim.rng key (or "
+        "take it as a required parameter); entropy minted below a worker "
+        "entry point silently breaks the serial == sharded guarantee"
+    )
+
+    def check(self, context: LintContext) -> Iterable[Finding]:
+        allowed = set(context.config.rng_allowed_modules)
+        graph = context.callgraph()
+        for info in context.iter_modules(sorted(context.worker_modules)):
+            if info.module in allowed:
+                continue
+            for summary in graph.summaries_of(info.module):
+                for call, callee_key in summary.calls:
+                    if callee_key is None:
+                        continue
+                    callee = graph.summaries[callee_key]
+                    if not callee.trans_raw:
+                        continue
+                    yield self.finding(
+                        info,
+                        call,
+                        f"call to {callee.qualname}() reaches an "
+                        "unregistered generator "
+                        f"(constructed at {callee.trans_raw_via})",
+                    )
 
 
 @register_rule

@@ -95,7 +95,10 @@ class CampusMap:
         like real campus footpaths.
         """
         config = config if config is not None else CampusConfig()
-        rng = np.random.default_rng(config.seed)
+        # Imported lazily: repro.sim.shard imports this module at load time.
+        from repro.sim.rng import legacy_stream
+
+        rng = legacy_stream(config.seed)
         positions = np.column_stack(
             [
                 rng.uniform(0.0, config.width_m, size=config.num_buildings),

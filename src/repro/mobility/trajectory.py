@@ -217,7 +217,10 @@ class GraphTrajectoryMobility(LegMobility):
         self.min_speed_mps = min_speed_mps
         self.max_speed_mps = max_speed_mps
         self.pause_time_s = pause_time_s
-        self._rng = np.random.default_rng(seed)
+        # Imported lazily: repro.sim.shard imports this module at load time.
+        from repro.sim.rng import legacy_stream
+
+        self._rng = legacy_stream(seed)
         self._current_node = start_node if start_node is not None else campus.random_node(self._rng)
         self._last_position = campus.position(self._current_node)
 

@@ -49,7 +49,10 @@ class RandomWaypointMobility(LegMobility):
     ) -> None:
         super().__init__()
         self.config = config if config is not None else WaypointConfig()
-        self._rng = np.random.default_rng(seed)
+        # Imported lazily: repro.sim pulls in the mobility package at load time.
+        from repro.sim.rng import legacy_stream
+
+        self._rng = legacy_stream(seed)
         if start_position is None:
             start_position = np.array(
                 [

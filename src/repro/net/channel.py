@@ -70,7 +70,10 @@ class ChannelModel:
 
     def __init__(self, config: Optional[ChannelConfig] = None, seed: int = 0) -> None:
         self.config = config if config is not None else ChannelConfig()
-        self._rng = np.random.default_rng(seed)
+        # Imported lazily: repro.sim imports the net package at load time.
+        from repro.sim.rng import legacy_stream
+
+        self._rng = legacy_stream(seed)
 
     # ------------------------------------------------------------ path loss
     def _reference_loss_db(self) -> float:

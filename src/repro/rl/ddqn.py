@@ -95,7 +95,10 @@ class DDQNAgent:
         epsilon_schedule: Optional[EpsilonSchedule] = None,
     ) -> None:
         self.config = config
-        self.rng = np.random.default_rng(config.seed)
+        # Imported lazily: repro.sim pulls in modules that import this one.
+        from repro.sim.rng import legacy_stream
+
+        self.rng = legacy_stream(config.seed)
         self.online = build_q_network(
             config.state_dim, config.num_actions, config.hidden_sizes, self.rng
         )

@@ -186,7 +186,10 @@ class GroupingEnvironment(Environment):
         )
         self.state_dim = STATE_DIM
         self.num_actions = self.config.num_actions
-        self._rng = np.random.default_rng(self.config.seed)
+        # Imported lazily: repro.sim pulls in modules that import this one.
+        from repro.sim.rng import legacy_stream
+
+        self._rng = legacy_stream(self.config.seed)
         self._step_index = 0
         self._features: Optional[np.ndarray] = None
         self._previous_k = 0

@@ -75,7 +75,12 @@ def train_agent(
             f"environment num_actions {env.num_actions} != agent num_actions "
             f"{agent.config.num_actions}"
         )
-    rng = rng if rng is not None else np.random.default_rng(agent.config.seed)
+    if rng is None:
+        raise ValueError(
+            "train_agent requires an explicit rng; derive one from the "
+            "repro.sim.rng registry (e.g. legacy_stream(agent.config.seed) "
+            "for the historical default)"
+        )
     result = TrainingResult()
     for episode in range(episodes):
         state = env.reset(rng)
@@ -108,7 +113,12 @@ def evaluate_agent(
     """Run the agent greedily (no exploration, no learning) and record returns."""
     if episodes <= 0:
         raise ValueError("episodes must be positive")
-    rng = rng if rng is not None else np.random.default_rng(agent.config.seed + 1)
+    if rng is None:
+        raise ValueError(
+            "evaluate_agent requires an explicit rng; derive one from the "
+            "repro.sim.rng registry (e.g. "
+            "legacy_stream(agent.config.seed + 1) for the historical default)"
+        )
     result = TrainingResult()
     for _ in range(episodes):
         state = env.reset(rng)

@@ -69,6 +69,28 @@ def derive_stream(key: Sequence[int]) -> np.random.Generator:
     return np.random.default_rng(derive_seed_sequence(key))
 
 
+def legacy_stream(
+    seed: "int | np.random.SeedSequence | np.random.Generator | None" = None,
+) -> np.random.Generator:
+    """Registry-sanctioned shim for historical ``np.random.default_rng(seed)``.
+
+    The pre-registry modules seeded their generators with plain literals
+    (``default_rng(config.seed)``, ``default_rng(0)``) and their golden
+    digests pin those exact bit streams, so the sites cannot move to
+    :func:`derive_stream`'s masked-key derivation without re-baselining
+    every golden.  Centralising the construction here keeps ``repro lint``'s
+    RNG001 invariant — *no generator is built outside this module* — while
+    staying bit-identical: this is ``np.random.default_rng`` applied to the
+    very same seed the call site used historically.
+
+    Every call site of this shim is legacy by definition.  New code must
+    derive its stream from a structured key (:func:`derive_stream` /
+    :class:`RngRegistry`); an existing site graduates whenever its goldens
+    are deliberately re-baselined.
+    """
+    return np.random.default_rng(seed)
+
+
 def window_token(window_start_s: "float | None") -> int:
     """64-bit key word for an optional time-window start (ms resolution).
 

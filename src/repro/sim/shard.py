@@ -416,18 +416,25 @@ class ShardWorkerRuntime:
                 pass
 
 
-#: The per-process runtime, set once by the pool initializer.
-_SHARD_RUNTIME: Optional[ShardWorkerRuntime] = None
+class _WorkerRuntimeSlot:
+    """Holder for the per-process runtime, set once by the pool initializer.
+
+    A class-attribute slot rather than a module global: the only mutation is
+    the initializer's one assignment in a freshly-forked worker, and keeping
+    it off the module namespace makes that invariant checkable (SHARD003
+    forbids mutable module-level bindings in worker-reachable code).
+    """
+
+    runtime: Optional[ShardWorkerRuntime] = None
 
 
 def _init_shard_worker(static: ShardStatic) -> None:
-    global _SHARD_RUNTIME
-    _SHARD_RUNTIME = ShardWorkerRuntime(static)
+    _WorkerRuntimeSlot.runtime = ShardWorkerRuntime(static)
 
 
 def _probe_shard_worker(_: int) -> tuple:
     """Test/debug hook: this worker's (pid, epoch, cached mobility ids)."""
-    runtime = _SHARD_RUNTIME
+    runtime = _WorkerRuntimeSlot.runtime
     assert runtime is not None, "shard worker not initialized"
     return os.getpid(), runtime.epoch, tuple(sorted(runtime.mobility))
 
@@ -441,7 +448,7 @@ def _run_shard_task(task: tuple) -> tuple:
     plan's output slots instead).
     """
     handle, group_index = task
-    runtime = _SHARD_RUNTIME
+    runtime = _WorkerRuntimeSlot.runtime
     assert runtime is not None, "shard worker not initialized"
     static = runtime.static
     # Imported lazily: repro.sim.simulator imports this module at load time.

@@ -56,7 +56,7 @@ from repro.net.multicast import group_spectral_efficiency, resource_blocks_for_t
 from repro.sim.clock import SimulationClock
 from repro.sim.config import SimulationConfig
 from repro.sim.metrics import MetricRecorder
-from repro.sim.rng import RngRegistry, grouped_watch_stream
+from repro.sim.rng import RngRegistry, grouped_watch_stream, legacy_stream
 from repro.sim.shard import (
     SharedIntervalPlan,
     ShardStatic,
@@ -314,8 +314,15 @@ def play_group_task(
     return usage, events, requests
 
 
-#: Static per-worker playback state, set once by the pool initializer.
-_PLAYBACK_WORKER_STATE: Optional[tuple] = None
+class _PlaybackWorkerSlot:
+    """Holder for static per-worker playback state, set once by the pool
+    initializer.  A class-attribute slot rather than a module global keeps
+    the worker-reachable module namespace free of mutable bindings
+    (SHARD003); the single assignment happens in a freshly-forked worker.
+    """
+
+    state: Optional[tuple] = None
+
 
 #: Monotonic suffix keeping concurrent simulators' plan segments distinct.
 _PLAN_SEQ = itertools.count()
@@ -330,8 +337,7 @@ def _init_playback_worker(
     rb_bandwidth_hz: float,
     interval_s: float,
 ) -> None:
-    global _PLAYBACK_WORKER_STATE
-    _PLAYBACK_WORKER_STATE = (
+    _PlaybackWorkerSlot.state = (
         catalog,
         watching_model,
         video_ids,
@@ -343,8 +349,9 @@ def _init_playback_worker(
 
 
 def _play_group_task_in_worker(task: GroupPlaybackTask) -> tuple:
-    assert _PLAYBACK_WORKER_STATE is not None, "playback worker not initialized"
-    return play_group_task(task, *_PLAYBACK_WORKER_STATE)
+    state = _PlaybackWorkerSlot.state
+    assert state is not None, "playback worker not initialized"
+    return play_group_task(task, *state)
 
 
 class StreamingSimulator:
@@ -353,7 +360,7 @@ class StreamingSimulator:
     def __init__(self, config: Optional[SimulationConfig] = None) -> None:
         self.config = config if config is not None else SimulationConfig()
         config = self.config
-        self._rng = np.random.default_rng(config.seed)
+        self._rng = legacy_stream(config.seed)
         #: SeedSequence-derived stream registry (see repro.sim.rng).  The
         #: grouped engine draws *everything* from keyed child streams; the
         #: compat/fast engines keep walking the shared generator above so

@@ -67,7 +67,10 @@ class StatusCollector:
         interleaved_snr_draws: bool = True,
     ) -> None:
         self.policy = policy if policy is not None else CollectionPolicy.perfect()
-        self._rng = np.random.default_rng(seed)
+        # Imported lazily: repro.sim.shard imports this module at load time.
+        from repro.sim.rng import legacy_stream
+
+        self._rng = legacy_stream(seed)
         #: Whether batched SNR sampling preserves the scalar per-sample draw
         #: order of the shared generator (see ChannelModel.sample_snr_db_batch).
         self.interleaved_snr_draws = interleaved_snr_draws

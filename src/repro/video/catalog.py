@@ -238,7 +238,10 @@ class VideoCatalog:
     def generate(cls, config: Optional[CatalogConfig] = None) -> "VideoCatalog":
         """Generate a synthetic catalog according to ``config``."""
         config = config if config is not None else CatalogConfig()
-        rng = np.random.default_rng(config.seed)
+        # Imported lazily: repro.sim imports the video package at load time.
+        from repro.sim.rng import legacy_stream
+
+        rng = legacy_stream(config.seed)
         ladder = DEFAULT_LADDER
         videos: List[Video] = []
         for video_id in range(config.num_videos):

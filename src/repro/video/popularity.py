@@ -130,7 +130,12 @@ class ZipfPopularity(PopularityModel):
 
     def resample_ranking(self, rng: Optional[np.random.Generator] = None) -> None:
         """Shuffle which video occupies which popularity rank (keeps weights)."""
-        rng = rng if rng is not None else np.random.default_rng(0)
+        if rng is None:
+            raise ValueError(
+                "resample_ranking requires an explicit rng; derive one from "
+                "the repro.sim.rng registry (e.g. legacy_stream(0) for the "
+                "historical default)"
+            )
         order = rng.permutation(len(self._video_ids))
         self._video_ids = [self._video_ids[i] for i in order]
         self._version += 1

@@ -59,7 +59,12 @@ def segment_sizes_bits(
         raise ValueError("segment_duration_s must be positive")
     if not 0.0 <= vbr_std_fraction < 1.0:
         raise ValueError("vbr_std_fraction must be in [0, 1)")
-    rng = rng if rng is not None else np.random.default_rng(0)
+    if rng is None:
+        raise ValueError(
+            "segment_sizes_bits requires an explicit rng; derive one from "
+            "the repro.sim.rng registry (e.g. legacy_stream(0) for the "
+            "historical default)"
+        )
     nominal = representation.bitrate_kbps * 1e3 * segment_duration_s
     sizes = rng.normal(nominal, vbr_std_fraction * nominal, size=num_segments)
     # A segment can never be smaller than a small fraction of the nominal size.

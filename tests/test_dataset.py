@@ -142,10 +142,16 @@ class TestLoader:
             )
 
     def test_user_split_disjoint(self, small_bundle):
-        train, test = train_test_split(small_bundle, test_fraction=0.34, by="user")
+        train, test = train_test_split(
+            small_bundle, test_fraction=0.34, by="user", rng=np.random.default_rng(0)
+        )
         train_users = {t.user_id for t in train.swipe_traces}
         test_users = {t.user_id for t in test.swipe_traces}
         assert train_users.isdisjoint(test_users)
+
+    def test_user_split_requires_rng(self, small_bundle):
+        with pytest.raises(ValueError, match="explicit rng"):
+            train_test_split(small_bundle, test_fraction=0.34, by="user")
 
     def test_invalid_split_args(self, small_bundle):
         with pytest.raises(ValueError):

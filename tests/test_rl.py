@@ -250,7 +250,9 @@ class TestTrainingLoop:
         agent = DDQNAgent(
             DDQNConfig(state_dim=2, num_actions=2, hidden_sizes=(8,), batch_size=8, min_replay_size=8)
         )
-        result = train_agent(agent, _LineEnvironment(), episodes=5)
+        result = train_agent(
+            agent, _LineEnvironment(), episodes=5, rng=np.random.default_rng(0)
+        )
         assert result.num_episodes == 5
         assert len(result.episode_lengths) == 5
         assert all(length == 10 for length in result.episode_lengths)
@@ -260,14 +262,29 @@ class TestTrainingLoop:
             DDQNConfig(state_dim=3, num_actions=2, hidden_sizes=(8,), batch_size=8, min_replay_size=8)
         )
         with pytest.raises(ValueError):
+            train_agent(
+                agent, _LineEnvironment(), episodes=1, rng=np.random.default_rng(0)
+            )
+
+    def test_train_agent_requires_rng(self):
+        agent = DDQNAgent(
+            DDQNConfig(state_dim=2, num_actions=2, hidden_sizes=(8,), batch_size=8, min_replay_size=8)
+        )
+        with pytest.raises(ValueError, match="explicit rng"):
             train_agent(agent, _LineEnvironment(), episodes=1)
+        with pytest.raises(ValueError, match="explicit rng"):
+            evaluate_agent(agent, _LineEnvironment(), episodes=1)
 
     def test_evaluate_agent_uses_greedy_policy(self):
         agent = DDQNAgent(
             DDQNConfig(state_dim=2, num_actions=2, hidden_sizes=(8,), batch_size=8, min_replay_size=8)
         )
-        train_agent(agent, _LineEnvironment(), episodes=20)
-        result = evaluate_agent(agent, _LineEnvironment(), episodes=3)
+        train_agent(
+            agent, _LineEnvironment(), episodes=20, rng=np.random.default_rng(0)
+        )
+        result = evaluate_agent(
+            agent, _LineEnvironment(), episodes=3, rng=np.random.default_rng(1)
+        )
         assert result.num_episodes == 3
         # A trained greedy agent should always pick action 1 and earn +10.
         assert result.mean_return() > 0
@@ -276,5 +293,7 @@ class TestTrainingLoop:
         agent = DDQNAgent(
             DDQNConfig(state_dim=2, num_actions=2, hidden_sizes=(8,), batch_size=8, min_replay_size=8)
         )
-        result = train_agent(agent, _LineEnvironment(), episodes=6)
+        result = train_agent(
+            agent, _LineEnvironment(), episodes=6, rng=np.random.default_rng(0)
+        )
         assert np.isfinite(result.mean_return(last=2))
